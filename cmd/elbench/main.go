@@ -1,0 +1,80 @@
+// Command elbench regenerates every table and figure of the paper
+// (experiments E1–E10, see DESIGN.md). Typical use:
+//
+//	elbench                 # run everything at full scale
+//	elbench -run E7,E9      # run selected experiments
+//	elbench -quick          # smoke-test scale
+//	elbench -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"safeland/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runIDs = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		quick  = flag.Bool("quick", false, "reduced scale for smoke testing")
+		outPth = flag.String("out", "", "also write output to this file")
+		seed   = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPth != "" {
+		f, err := os.Create(*outPth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	env := experiments.NewEnv(cfg, os.Stderr)
+	fmt.Fprintf(w, "safeland experiment suite — seed %d, scale %s\n", cfg.Seed, scaleName(*quick))
+
+	if *runIDs == "all" {
+		if err := experiments.RunAll(env, w); err != nil {
+			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if err := experiments.RunByID(id, env, w); err != nil {
+			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func scaleName(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}

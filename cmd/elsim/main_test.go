@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"safeland/internal/uav"
+)
+
+func TestFailureByNameCoversAllKinds(t *testing.T) {
+	names := []string{
+		"none", "comm-temporary", "comm-permanent", "motor",
+		"navigation", "battery", "engine", "control",
+	}
+	seen := map[uav.FailureKind]bool{}
+	for _, n := range names {
+		k, ok := failureByName(n)
+		if !ok {
+			t.Fatalf("name %q not recognized", n)
+		}
+		if seen[k] {
+			t.Fatalf("name %q duplicates a failure kind", n)
+		}
+		seen[k] = true
+	}
+	for k := uav.NoFailure; k <= uav.FlightControlFault; k++ {
+		if !seen[k] {
+			t.Errorf("failure kind %v has no CLI name", k)
+		}
+	}
+	if _, ok := failureByName("bogus"); ok {
+		t.Error("bogus name accepted")
+	}
+}

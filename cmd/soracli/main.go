@@ -1,0 +1,104 @@
+// Command soracli runs the SORA v2.0 ground/air risk assessment for a UAV
+// operation, with optional mitigation claims including the paper's
+// active-M1 Emergency Landing.
+//
+//	soracli                                  # the paper's MEDI DELIVERY
+//	soracli -el medium                       # with EL at medium robustness
+//	soracli -span 3 -mtow 12 -alt 90 -scenario vlos-populated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safeland/internal/sora"
+	"safeland/internal/uav"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func scenarioByName(name string) (sora.OperationalScenario, bool) {
+	m := map[string]sora.OperationalScenario{
+		"controlled":      sora.ControlledGround,
+		"vlos-sparse":     sora.VLOSSparse,
+		"bvlos-sparse":    sora.BVLOSSparse,
+		"vlos-populated":  sora.VLOSPopulated,
+		"bvlos-populated": sora.BVLOSPopulated,
+		"vlos-gathering":  sora.VLOSGathering,
+		"bvlos-gathering": sora.BVLOSGathering,
+	}
+	s, ok := m[name]
+	return s, ok
+}
+
+func robustnessByName(name string) (sora.Robustness, bool) {
+	m := map[string]sora.Robustness{
+		"none": sora.None, "low": sora.Low, "medium": sora.Medium, "high": sora.High,
+	}
+	r, ok := m[name]
+	return r, ok
+}
+
+func run() int {
+	var (
+		span     = flag.Float64("span", 1.0, "UAV characteristic dimension (m)")
+		mtow     = flag.Float64("mtow", 7.0, "maximum take-off weight (kg)")
+		alt      = flag.Float64("alt", 120, "cruise altitude (m AGL)")
+		scenario = flag.String("scenario", "bvlos-populated", "operational scenario")
+		m3       = flag.String("m3", "medium", "M3 emergency response plan robustness: none|low|medium|high")
+		m2       = flag.String("m2", "none", "M2 impact-reduction robustness")
+		el       = flag.String("el", "none", "EL active-M1 robustness (the paper's proposal)")
+		criteria = flag.Bool("criteria", false, "print the EL integrity/assurance criteria tables")
+	)
+	flag.Parse()
+
+	if *criteria {
+		fmt.Println(sora.CriteriaTable(sora.Integrity))
+		fmt.Println(sora.CriteriaTable(sora.Assurance))
+	}
+
+	sc, ok := scenarioByName(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "soracli: unknown scenario %q\n", *scenario)
+		return 2
+	}
+	ke := uav.BallisticImpactEnergy(*mtow, *alt)
+	op := sora.Operation{
+		Name:           "custom operation",
+		SpanM:          *span,
+		KineticEnergyJ: ke,
+		Scenario:       sc,
+		Airspace:       sora.Airspace{MaxHeightFt: *alt * 3.28084, Urban: urbanScenario(sc)},
+	}
+	for _, claim := range []struct {
+		flagV string
+		typ   sora.MitigationType
+	}{{*m3, sora.M3}, {*m2, sora.M2}, {*el, sora.ActiveM1}} {
+		r, ok := robustnessByName(claim.flagV)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "soracli: unknown robustness %q\n", claim.flagV)
+			return 2
+		}
+		if r != sora.None {
+			op.Mitigations = append(op.Mitigations, sora.Mitigation{Type: claim.typ, Integrity: r, Assurance: r})
+		}
+	}
+
+	fmt.Printf("operation: span %.1f m, %.1f kg, %.0f m AGL, ballistic energy %.2f kJ\n",
+		*span, *mtow, *alt, ke/1000)
+	fmt.Printf("scenario : %s\n\n", sc)
+	fmt.Print(sora.Assess(op).Report(op.Name))
+	return 0
+}
+
+func urbanScenario(s sora.OperationalScenario) bool {
+	switch s {
+	case sora.VLOSPopulated, sora.BVLOSPopulated, sora.VLOSGathering, sora.BVLOSGathering:
+		return true
+	default:
+		return false
+	}
+}

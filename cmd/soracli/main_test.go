@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"safeland/internal/sora"
+)
+
+func TestScenarioByNameCoversAllScenarios(t *testing.T) {
+	names := []string{
+		"controlled", "vlos-sparse", "bvlos-sparse", "vlos-populated",
+		"bvlos-populated", "vlos-gathering", "bvlos-gathering",
+	}
+	seen := map[sora.OperationalScenario]bool{}
+	for _, n := range names {
+		s, ok := scenarioByName(n)
+		if !ok {
+			t.Fatalf("scenario %q not recognized", n)
+		}
+		seen[s] = true
+	}
+	for s := sora.ControlledGround; s <= sora.BVLOSGathering; s++ {
+		if !seen[s] {
+			t.Errorf("scenario %v unreachable from the CLI", s)
+		}
+	}
+	if _, ok := scenarioByName("mars"); ok {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestRobustnessByName(t *testing.T) {
+	for name, want := range map[string]sora.Robustness{
+		"none": sora.None, "low": sora.Low, "medium": sora.Medium, "high": sora.High,
+	} {
+		got, ok := robustnessByName(name)
+		if !ok || got != want {
+			t.Errorf("robustnessByName(%q) = %v/%v", name, got, ok)
+		}
+	}
+	if _, ok := robustnessByName("extreme"); ok {
+		t.Error("bogus robustness accepted")
+	}
+}
+
+func TestUrbanScenario(t *testing.T) {
+	if !urbanScenario(sora.BVLOSPopulated) || !urbanScenario(sora.VLOSGathering) {
+		t.Error("populated scenarios should be urban")
+	}
+	if urbanScenario(sora.VLOSSparse) || urbanScenario(sora.ControlledGround) {
+		t.Error("sparse scenarios should not be urban")
+	}
+}

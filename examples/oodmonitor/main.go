@@ -1,0 +1,58 @@
+// Oodmonitor reproduces the paper's Figure 4b story: the segmentation
+// model, excellent in its training distribution, fails silently on a sunset
+// scene — and the Bayesian runtime monitor catches the failure through
+// inflated Monte-Carlo dropout uncertainty.
+//
+//	go run ./examples/oodmonitor
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safeland"
+	"safeland/internal/monitor"
+	"safeland/internal/segment"
+	"safeland/internal/urban"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "training...")
+	sys := safeland.NewSystem(safeland.Options{
+		Seed: 5, TrainScenes: 4, TrainSteps: 350, SceneSize: 160, MCSamples: 10,
+	})
+	model := sys.Pipeline.Model
+	bayes := sys.Pipeline.Monitor
+
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 160, 160
+	day := urban.Generate(cfg, urban.DefaultConditions(), 31)
+	sunset := urban.Generate(cfg, urban.SunsetConditions(), 31)
+
+	fmt.Println("deterministic model (the monitored 'core function'):")
+	for _, c := range []struct {
+		name  string
+		scene *urban.Scene
+	}{{"day (in-distribution)", day}, {"sunset (out-of-distribution)", sunset}} {
+		conf := segment.Evaluate(model, []*urban.Scene{c.scene})
+		fmt.Printf("  %-30s pixel acc %.3f, busy-road recall %.3f\n",
+			c.name, conf.PixelAccuracy(), conf.BusyRoadRecall())
+	}
+
+	fmt.Println("\nBayesian monitor (10 MC-dropout samples, µ+3σ ≤ 0.125 per busy-road class):")
+	rule := monitor.DefaultRule()
+	for _, c := range []struct {
+		name  string
+		scene *urban.Scene
+	}{{"day", day}, {"sunset", sunset}} {
+		q := monitor.Evaluate(bayes, []*urban.Scene{c.scene}, rule)
+		fmt.Printf("  %-10s %s\n", c.name, q)
+	}
+
+	fmt.Println("\nReading: on sunset imagery the core model misses essentially all roads")
+	fmt.Println("(recall ≈ 0) — a silent, catastrophic failure mode. The monitor's 'miss")
+	fmt.Println("coverage' is the fraction of those missed road pixels it still flags:")
+	fmt.Println("the paper's claim that the monitor 'discards large road areas unseen by")
+	fmt.Println("the model', and the reason Table IV makes runtime monitoring mandatory")
+	fmt.Println("for ML-based emergency landing.")
+}

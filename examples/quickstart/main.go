@@ -1,0 +1,56 @@
+// Quickstart: build a small emergency-landing system, point it at an urban
+// scene, and watch the Figure 2 pipeline pick and verify a landing zone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safeland"
+	"safeland/internal/urban"
+)
+
+func main() {
+	// 1. Train a compact system (a few seconds on a laptop). Real
+	// deployments would load a checkpoint produced by cmd/eltrain instead.
+	fmt.Fprintln(os.Stderr, "training a compact EL system...")
+	sys := safeland.NewSystem(safeland.Options{
+		Seed:        1,
+		TrainScenes: 5,
+		TrainSteps:  500,
+		SceneSize:   192,
+		MCSamples:   10,
+	})
+
+	// 2. Emergency! Run the Figure 2 pipeline on successive on-board frames
+	// (the vehicle keeps flying while no zone is confirmed): segmentation
+	// -> zone proposals -> Bayesian monitor -> decision module.
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 192, 192
+	for frame := int64(0); frame < 4; frame++ {
+		scene := urban.Generate(cfg, urban.DefaultConditions(), 4242+frame)
+		fmt.Printf("\n--- frame %d: %.0fx%.0f m city block at %.2f m/px ---\n",
+			frame+1, scene.Layout.WorldW, scene.Layout.WorldH, scene.MPP)
+		res := sys.SelectLandingZone(scene.Image, scene.MPP)
+		for i, tr := range res.Trials {
+			fmt.Printf("  trial %d: zone (%3d,%3d) road-dist %5.1f m, safe %.2f -> flagged %.3f, confirmed=%v\n",
+				i+1, tr.Candidate.X0, tr.Candidate.Y0, tr.Candidate.MinRoadDistM,
+				tr.Candidate.SafeFraction, tr.Verdict.FlaggedFraction, tr.Verdict.Confirmed)
+		}
+		fmt.Printf("  pipeline: %s\n", res.Describe())
+		if !res.Confirmed {
+			fmt.Println("  no zone confirmed in this frame: keep flying, try the next frame")
+			continue
+		}
+		x, y := res.Zone.CenterM(scene.MPP)
+		fmt.Println("\nground truth of the frame ('='road, '#'building, '\"'vegetation, 'T'tree):")
+		fmt.Print(urban.AsciiRender(scene.Labels, 64))
+		fmt.Printf("\nconfirmed landing zone center: (%.0f, %.0f) m — truth class there: %s\n",
+			x, y, scene.Labels.At(int(x/scene.MPP), int(y/scene.MPP)))
+		return
+	}
+	fmt.Println("\nno zone confirmed in any frame: the decision module aborts to flight")
+	fmt.Println("termination (engines stop, parachute opens) — the safe default.")
+}

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"safeland/internal/imaging"
+	"safeland/internal/urban"
+)
+
+// TileClassifier is the classical-ML baseline: a multinomial logistic
+// regression over handcrafted tile features (color statistics, edge
+// density, texture energy), standing in for the SVM/shallow-CNN tile
+// classifiers of Mejias (2014), Lai (2016) and Funahashi (2018).
+type TileClassifier struct {
+	// TileSize is the training tile side in pixels.
+	TileSize int
+	// W holds one weight row per class over numFeatures+1 inputs (bias
+	// last).
+	W [imaging.NumClasses][]float64
+}
+
+const numFeatures = 9
+
+// features summarizes one window: RGB means, RGB stds, luminance mean, edge
+// fraction and luminance texture energy.
+func features(img *imaging.Image, edges *imaging.Map, x0, y0, size int) [numFeatures]float64 {
+	var sumR, sumG, sumB, sumR2, sumG2, sumB2, sumL, sumL2, edge float64
+	n := float64(size * size)
+	for y := y0; y < y0+size; y++ {
+		for x := x0; x < x0+size; x++ {
+			p := img.At(x, y)
+			l := float64(p.Luma())
+			sumR += float64(p.R)
+			sumG += float64(p.G)
+			sumB += float64(p.B)
+			sumR2 += float64(p.R) * float64(p.R)
+			sumG2 += float64(p.G) * float64(p.G)
+			sumB2 += float64(p.B) * float64(p.B)
+			sumL += l
+			sumL2 += l * l
+			if edges.At(x, y) >= 0.5 {
+				edge++
+			}
+		}
+	}
+	std := func(sum, sum2 float64) float64 {
+		v := sum2/n - (sum/n)*(sum/n)
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v)
+	}
+	return [numFeatures]float64{
+		sumR / n, sumG / n, sumB / n,
+		std(sumR, sumR2), std(sumG, sumG2), std(sumB, sumB2),
+		sumL / n, edge / n, std(sumL, sumL2),
+	}
+}
+
+// NewTileClassifier allocates an untrained classifier with 16 px tiles.
+func NewTileClassifier() *TileClassifier {
+	tc := &TileClassifier{TileSize: 16}
+	for c := range tc.W {
+		tc.W[c] = make([]float64, numFeatures+1)
+	}
+	return tc
+}
+
+// Train fits the classifier on tiles sampled from the scenes, labeling each
+// tile with its majority ground-truth class.
+func (tc *TileClassifier) Train(scenes []*urban.Scene, epochs int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	type sample struct {
+		f [numFeatures]float64
+		c int
+	}
+	var samples []sample
+	for _, s := range scenes {
+		edges := s.Image.Luminance().Canny(1.2, 0.06, 0.18)
+		for y := 0; y+tc.TileSize <= s.Image.H; y += tc.TileSize {
+			for x := 0; x+tc.TileSize <= s.Image.W; x += tc.TileSize {
+				var counts [imaging.NumClasses]int
+				for yy := y; yy < y+tc.TileSize; yy++ {
+					for xx := x; xx < x+tc.TileSize; xx++ {
+						counts[s.Labels.At(xx, yy)]++
+					}
+				}
+				bc, bn := 0, -1
+				for c, n := range counts {
+					if n > bn {
+						bc, bn = c, n
+					}
+				}
+				samples = append(samples, sample{f: features(s.Image, edges, x, y, tc.TileSize), c: bc})
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	const lr = 0.5
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		for _, s := range samples {
+			probs := tc.probsFromFeatures(s.f)
+			for c := 0; c < imaging.NumClasses; c++ {
+				g := probs[c]
+				if c == s.c {
+					g -= 1
+				}
+				for k := 0; k < numFeatures; k++ {
+					tc.W[c][k] -= lr * g * s.f[k]
+				}
+				tc.W[c][numFeatures] -= lr * g
+			}
+		}
+	}
+}
+
+func (tc *TileClassifier) probsFromFeatures(f [numFeatures]float64) [imaging.NumClasses]float64 {
+	var logits [imaging.NumClasses]float64
+	maxL := math.Inf(-1)
+	for c := 0; c < imaging.NumClasses; c++ {
+		l := tc.W[c][numFeatures]
+		for k := 0; k < numFeatures; k++ {
+			l += tc.W[c][k] * f[k]
+		}
+		logits[c] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxL)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// ClassifyWindow returns per-class probabilities for one window.
+func (tc *TileClassifier) ClassifyWindow(img *imaging.Image, edges *imaging.Map, x0, y0, size int) [imaging.NumClasses]float64 {
+	return tc.probsFromFeatures(features(img, edges, x0, y0, size))
+}
+
+// Name implements Selector.
+func (tc *TileClassifier) Name() string { return "tile-classifier" }
+
+// Select implements Selector: it scans windows and picks the one whose
+// predicted class mix is most landable (vegetation/clutter, no roads, cars,
+// buildings or people).
+func (tc *TileClassifier) Select(scene *urban.Scene, zonePx int) (Zone, bool) {
+	if zonePx <= 0 || zonePx > scene.Image.W || zonePx > scene.Image.H {
+		return Zone{}, false
+	}
+	edges := scene.Image.Luminance().Canny(1.2, 0.06, 0.18)
+	best := math.Inf(1)
+	var bz Zone
+	found := false
+	for y := 0; y+zonePx <= scene.Image.H; y += 4 {
+		for x := 0; x+zonePx <= scene.Image.W; x += 4 {
+			p := tc.ClassifyWindow(scene.Image, edges, x, y, zonePx)
+			hazard := p[imaging.Road] + p[imaging.MovingCar] + p[imaging.StaticCar] +
+				p[imaging.Building] + p[imaging.Humans]
+			score := hazard + 0.2*(1-p[imaging.LowVegetation])
+			if score < best {
+				best = score
+				bz = Zone{X0: x, Y0: y, Size: zonePx, Score: score}
+				found = true
+			}
+		}
+	}
+	return bz, found
+}

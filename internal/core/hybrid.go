@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"safeland/internal/imaging"
+	"safeland/internal/riskmap"
+	"safeland/internal/urban"
+)
+
+// Hybrid implements the paper's final future-work direction: "hybrid
+// methods combining learning-based techniques with using public databases
+// could be envisioned to improve emergency landing". It fuses the on-board
+// vision pipeline with an a-priori GIS risk map: a candidate zone must
+// satisfy the vision invariants (predicted-road buffer, landable majority,
+// monitor confirmation) and additionally be feasible on the static map,
+// with its ranking penalized by the mapped risk.
+//
+// The two sources fail independently — the camera misses what it cannot
+// see (distribution shift), the database misses what is not mapped (live
+// traffic, parked cars, crowds) — so their conjunction is strictly more
+// conservative than either alone.
+type Hybrid struct {
+	Pipeline *Pipeline
+	// StaticCfg configures the GIS layer weights.
+	StaticCfg riskmap.StaticConfig
+	// StaticWeight scales how strongly mapped risk demotes a candidate.
+	StaticWeight float64
+	// MaxStaticRisk rejects candidates whose mean mapped risk exceeds it.
+	MaxStaticRisk float64
+}
+
+// NewHybrid wraps a pipeline with default GIS fusion settings.
+func NewHybrid(p *Pipeline) *Hybrid {
+	return &Hybrid{
+		Pipeline:      p,
+		StaticCfg:     riskmap.DefaultStaticConfig(),
+		StaticWeight:  8,
+		MaxStaticRisk: 0.5,
+	}
+}
+
+// SelectAndVerify runs the fused selection on a scene: vision candidates
+// are filtered and re-ranked by the static risk map before the Bayesian
+// monitor verifies them.
+func (h *Hybrid) SelectAndVerify(scene *urban.Scene) Result {
+	p := h.Pipeline
+	pred := p.Model.Predict(scene.Image)
+	static := riskmap.BuildStatic(scene.Layout, scene.Labels.W, scene.Labels.H, scene.MPP, h.StaticCfg)
+
+	zones := p.Zones
+	var cands []Candidate
+	for _, scale := range []float64{1, 0.66, 0.4, 0.2} {
+		zones.BufferM = p.Zones.BufferM * scale
+		if zones.BufferM < zones.ZoneSizeM/4 {
+			zones.BufferM = zones.ZoneSizeM / 4
+		}
+		if cands = h.fuse(Candidates(pred, scene.MPP, zones), static); len(cands) > 0 {
+			break
+		}
+	}
+	res := Result{Pred: pred, CandidateCount: len(cands), UsedBufferM: zones.BufferM}
+	dm := NewDecisionModule(p.MaxTrials)
+	for _, cand := range cands {
+		sub := scene.Image.Crop(evenAlign(cand.X0, scene.Image.W, cand.SizePx),
+			evenAlign(cand.Y0, scene.Image.H, cand.SizePx),
+			evenSize(cand.SizePx), evenSize(cand.SizePx))
+		verdict := p.Monitor.VerifyRegion(sub, p.Rule)
+		res.Trials = append(res.Trials, Trial{Candidate: cand, Verdict: verdict})
+		switch dm.Offer(verdict) {
+		case Landing:
+			res.Confirmed = true
+			res.Zone = cand
+			res.State = Landing
+			return res
+		case Aborted:
+			res.State = Aborted
+			return res
+		}
+	}
+	res.State = dm.Exhausted()
+	return res
+}
+
+// fuse drops candidates the static map forbids and re-ranks the survivors.
+func (h *Hybrid) fuse(cands []Candidate, static *imaging.Map) []Candidate {
+	it := buildFiniteIntegral(static)
+	kept := cands[:0:0]
+	for _, c := range cands {
+		mean, forbidden := it.meanRisk(c.X0, c.Y0, c.SizePx)
+		if forbidden || mean > h.MaxStaticRisk {
+			continue
+		}
+		c.Score -= h.StaticWeight * mean
+		kept = append(kept, c)
+	}
+	// Candidates arrive sorted by vision score; the static penalty can
+	// reorder them.
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && kept[j].Score > kept[j-1].Score; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
+	return kept
+}
+
+// PlanLanding implements uav.LandingPlanner with the fused selection.
+func (h *Hybrid) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
+	p := h.Pipeline
+	zones := p.Zones
+	zones.HomeX, zones.HomeY = xM, yM
+	saved := p.Zones
+	p.Zones = zones
+	defer func() { p.Zones = saved }()
+
+	res := h.SelectAndVerify(scene)
+	if !res.Confirmed {
+		return 0, 0, false
+	}
+	txM, tyM := res.Zone.CenterM(scene.MPP)
+	return txM, tyM, true
+}
+
+// finiteIntegral tracks mean finite risk and forbidden (+Inf) coverage.
+type finiteIntegral struct {
+	risk *imaging.Integral
+	forb *imaging.Integral
+}
+
+func buildFiniteIntegral(static *imaging.Map) finiteIntegral {
+	finite := imaging.NewMap(static.W, static.H)
+	forb := imaging.NewMap(static.W, static.H)
+	for i, v := range static.Pix {
+		if math.IsInf(float64(v), 1) {
+			forb.Pix[i] = 1
+		} else {
+			finite.Pix[i] = v
+		}
+	}
+	return finiteIntegral{risk: imaging.NewIntegral(finite), forb: imaging.NewIntegral(forb)}
+}
+
+func (fi finiteIntegral) meanRisk(x0, y0, size int) (mean float64, forbidden bool) {
+	if fi.forb.RectSum(x0, y0, x0+size, y0+size) > 0 {
+		return 0, true
+	}
+	return fi.risk.RectMean(x0, y0, x0+size, y0+size), false
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's Emergency Landing function (Section
+// V): landing-zone selection from semantic segmentation with a
+// parachute-drift road buffer, the Computer/Monitor safety pattern with a
+// Bayesian runtime monitor, and the Decision Module that confirms, retries
+// or aborts (Figure 2). It also self-assesses the implementation against
+// the paper's Table III/IV criteria to produce a SORA mitigation claim.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"safeland/internal/imaging"
+)
+
+// ZoneConfig controls candidate landing-zone generation.
+type ZoneConfig struct {
+	// ZoneSizeM is the side of the square landing zone (m): the vehicle
+	// span plus a touchdown dispersion margin.
+	ZoneSizeM float64
+	// BufferM is the required distance (m) between every zone pixel and the
+	// nearest predicted busy-road pixel. Table III (low integrity): "the
+	// buffer from roads must take into account the typical parachute drift
+	// in nominal conditions".
+	BufferM float64
+	// MinSafeFraction is the minimum fraction of zone pixels predicted as
+	// landable surface (low vegetation or bare clutter).
+	MinSafeFraction float64
+	// Stride is the candidate scan stride in pixels (0 = half zone side).
+	Stride int
+	// MaxCandidates caps the ranked candidate list (0 = no cap).
+	MaxCandidates int
+	// BorderMarginPx excludes zones touching the image border, where
+	// convolution padding degrades both prediction and uncertainty
+	// calibration (negative = default of a quarter zone).
+	BorderMarginPx int
+	// HomeX, HomeY bias the ranking toward zones near this position
+	// (meters); both zero disables the bias.
+	HomeX, HomeY float64
+}
+
+// DefaultZoneConfig sizes the zone for the MEDI DELIVERY vehicle: a 12 m
+// zone (1 m span + GPS-free visual-servoing dispersion) and a 15 m road
+// buffer covering the nominal parachute drift from the 35 m deployment
+// altitude in moderate wind (EL keeps trajectory control, so it descends
+// before opening the canopy; only Flight Termination deploys from cruise
+// altitude).
+func DefaultZoneConfig() ZoneConfig {
+	return ZoneConfig{
+		ZoneSizeM:       12,
+		BufferM:         15,
+		MinSafeFraction: 0.85,
+		MaxCandidates:   16,
+	}
+}
+
+// landable reports whether a predicted class is acceptable ground to touch
+// down on: low vegetation (the literature's preferred surface) or bare
+// clutter (pavement, soil). Buildings, trees, water-colored clutter and the
+// busy-road composite are not.
+func landable(c imaging.Class) bool {
+	return c == imaging.LowVegetation || c == imaging.Clutter
+}
+
+// Candidate is one scored landing-zone proposal in pixel coordinates.
+type Candidate struct {
+	X0, Y0, SizePx int
+	// MinRoadDistM is the smallest distance (m) from any zone pixel to a
+	// predicted busy-road pixel.
+	MinRoadDistM float64
+	// SafeFraction is the fraction of zone pixels with landable predicted
+	// classes.
+	SafeFraction float64
+	// Score ranks candidates (higher is better).
+	Score float64
+}
+
+// CenterM returns the candidate center in meters.
+func (c Candidate) CenterM(mpp float64) (x, y float64) {
+	return (float64(c.X0) + float64(c.SizePx)/2) * mpp, (float64(c.Y0) + float64(c.SizePx)/2) * mpp
+}
+
+// Candidates generates ranked landing-zone proposals from a predicted
+// segmentation. This is the "zone selection" stage of Figure 2: it runs on
+// the deterministic model output; the monitor later verifies the winners.
+func Candidates(pred *imaging.LabelMap, mpp float64, cfg ZoneConfig) []Candidate {
+	if mpp <= 0 {
+		panic(fmt.Sprintf("core: invalid meters-per-pixel %v", mpp))
+	}
+	zonePx := int(math.Ceil(cfg.ZoneSizeM / mpp))
+	if zonePx <= 0 || zonePx > pred.W || zonePx > pred.H {
+		return nil
+	}
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = zonePx / 2
+		if stride == 0 {
+			stride = 1
+		}
+	}
+	// Beyond this distance from the nearest road, extra margin adds no
+	// safety: it caps scores so distance does not drown the other criteria
+	// (and keeps road-free predictions comparable).
+	maxUsefulDistM := 3 * cfg.BufferM
+	if maxUsefulDistM < 30 {
+		maxUsefulDistM = 30
+	}
+	dist := pred.DistanceTransform(imaging.Class.BusyRoad)
+	safe := imaging.NewMap(pred.W, pred.H)
+	for i, c := range pred.Pix {
+		if landable(c) {
+			safe.Pix[i] = 1
+		}
+	}
+	safeIt := imaging.NewIntegral(safe)
+	bufferPx := float32(cfg.BufferM / mpp)
+
+	margin := cfg.BorderMarginPx
+	if margin < 0 {
+		margin = 0
+	}
+	if cfg.BorderMarginPx == 0 {
+		margin = zonePx / 4
+	}
+
+	var cands []Candidate
+	for y := margin; y+zonePx <= pred.H-margin; y += stride {
+		for x := margin; x+zonePx <= pred.W-margin; x += stride {
+			// Minimum distance to predicted road over the zone.
+			minDist := float32(math.Inf(1))
+			for yy := y; yy < y+zonePx; yy++ {
+				row := dist.Pix[yy*dist.W+x : yy*dist.W+x+zonePx]
+				for _, d := range row {
+					if d < minDist {
+						minDist = d
+					}
+				}
+			}
+			if minDist < bufferPx {
+				continue
+			}
+			frac := safeIt.RectMean(x, y, x+zonePx, y+zonePx)
+			if frac < cfg.MinSafeFraction {
+				continue
+			}
+			distM := float64(minDist) * mpp
+			if distM > maxUsefulDistM || math.IsInf(distM, 1) {
+				distM = maxUsefulDistM
+			}
+			c := Candidate{
+				X0: x, Y0: y, SizePx: zonePx,
+				MinRoadDistM: distM,
+				SafeFraction: frac,
+			}
+			c.Score = distM + 10*frac
+			if cfg.HomeX != 0 || cfg.HomeY != 0 {
+				cx, cy := c.CenterM(mpp)
+				c.Score -= 0.08 * math.Hypot(cx-cfg.HomeX, cy-cfg.HomeY)
+			}
+			cands = append(cands, c)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	cands = diversify(cands, zonePx)
+	if cfg.MaxCandidates > 0 && len(cands) > cfg.MaxCandidates {
+		cands = cands[:cfg.MaxCandidates]
+	}
+	return cands
+}
+
+// diversify greedily suppresses candidates overlapping an already-kept,
+// better-scored one, so the Decision Module's retries explore genuinely
+// different zones instead of shifted copies of the same block.
+func diversify(sorted []Candidate, zonePx int) []Candidate {
+	var kept []Candidate
+	for _, c := range sorted {
+		overlaps := false
+		for _, k := range kept {
+			if abs(c.X0-k.X0) < zonePx && abs(c.Y0-k.Y0) < zonePx {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+// Package experiments regenerates every table, figure and quantitative
+// claim of the paper (experiments E1–E10 in DESIGN.md): the severity and
+// ground-risk tables, the SORA case-study numbers, the EL criteria
+// assessment, the Figure 1 failure-injection matrix, dataset statistics,
+// the Figure 4 segmentation/monitoring study, the baseline comparison, the
+// sub-image timing argument, and the monitor ablations.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"safeland/internal/core"
+	"safeland/internal/monitor"
+	"safeland/internal/segment"
+	"safeland/internal/urban"
+)
+
+// Config scales the experiment suite. DefaultConfig reproduces the paper at
+// full (CPU-feasible) scale; QuickConfig is a smoke-test scale for CI.
+type Config struct {
+	Seed int64
+	// TrainScenes, TestScenes, OODScenes size the dataset.
+	TrainScenes, TestScenes, OODScenes int
+	// SceneSize is the generated scene side in pixels.
+	SceneSize int
+	// TrainSteps, TrainLR, CropSize configure model fitting.
+	TrainSteps int
+	TrainLR    float64
+	CropSize   int
+	// MCSamples is the Bayesian monitor sample count (paper: 10).
+	MCSamples int
+	// MonteCarloImpacts sizes the E2 impact simulation.
+	MonteCarloImpacts int
+	// CompareScenes sizes the E8 baseline comparison.
+	CompareScenes int
+	// MissionRepeats sizes the E5 failure matrix.
+	MissionRepeats int
+}
+
+// DefaultConfig returns the full-scale configuration used by cmd/elbench.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              2021, // DSN 2021
+		TrainScenes:       6,
+		TestScenes:        4,
+		OODScenes:         4,
+		SceneSize:         192,
+		TrainSteps:        800,
+		TrainLR:           0.008,
+		CropSize:          64,
+		MCSamples:         10,
+		MonteCarloImpacts: 4000,
+		CompareScenes:     12,
+		MissionRepeats:    3,
+	}
+}
+
+// QuickConfig returns a reduced configuration for tests.
+func QuickConfig() Config {
+	return Config{
+		Seed:              2021,
+		TrainScenes:       3,
+		TestScenes:        2,
+		OODScenes:         2,
+		SceneSize:         128,
+		TrainSteps:        150,
+		TrainLR:           0.01,
+		CropSize:          64,
+		MCSamples:         5,
+		MonteCarloImpacts: 300,
+		CompareScenes:     3,
+		MissionRepeats:    1,
+	}
+}
+
+// Env lazily builds and caches the expensive shared artifacts (dataset,
+// trained model, pipeline) so experiments can run independently or as a
+// batch without retraining.
+type Env struct {
+	Cfg Config
+	Log io.Writer
+
+	dsOnce    sync.Once
+	dataset   *urban.Dataset
+	modelOnce sync.Once
+	model     *segment.Model
+	pipeOnce  sync.Once
+	pipeline  *core.Pipeline
+}
+
+// NewEnv builds an environment; log receives progress lines (nil discards).
+func NewEnv(cfg Config, log io.Writer) *Env {
+	if log == nil {
+		log = io.Discard
+	}
+	return &Env{Cfg: cfg, Log: log}
+}
+
+// SceneConfig returns the generator settings for this environment.
+func (e *Env) SceneConfig() urban.Config {
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = e.Cfg.SceneSize, e.Cfg.SceneSize
+	return cfg
+}
+
+// Dataset returns the shared train/test/OOD split, generating it on first
+// use.
+func (e *Env) Dataset() *urban.Dataset {
+	e.dsOnce.Do(func() {
+		fmt.Fprintf(e.Log, "[env] generating dataset: %d train, %d test, %d OOD scenes (%dpx)\n",
+			e.Cfg.TrainScenes, e.Cfg.TestScenes, e.Cfg.OODScenes, e.Cfg.SceneSize)
+		e.dataset = urban.BuildDataset(e.SceneConfig(), urban.DefaultConditions(),
+			urban.SunsetConditions(), e.Cfg.TrainScenes, e.Cfg.TestScenes, e.Cfg.OODScenes, e.Cfg.Seed)
+	})
+	return e.dataset
+}
+
+// Model returns the shared trained MSDnet, training it on first use.
+func (e *Env) Model() *segment.Model {
+	e.modelOnce.Do(func() {
+		ds := e.Dataset()
+		mcfg := segment.DefaultConfig()
+		mcfg.Seed = e.Cfg.Seed
+		e.model = segment.New(mcfg)
+		fmt.Fprintf(e.Log, "[env] training MSDnet (%d params, %d steps)\n",
+			e.model.ParamCount(), e.Cfg.TrainSteps)
+		stats := segment.Train(e.model, ds.Train, segment.TrainConfig{
+			Steps:    e.Cfg.TrainSteps,
+			Batch:    2,
+			CropSize: e.Cfg.CropSize,
+			LR:       e.Cfg.TrainLR,
+			Seed:     e.Cfg.Seed + 1,
+		})
+		fmt.Fprintf(e.Log, "[env] training loss %.3f -> %.3f\n", stats.FirstLoss, stats.FinalLoss)
+	})
+	return e.model
+}
+
+// Pipeline returns the shared EL pipeline around the trained model.
+func (e *Env) Pipeline() *core.Pipeline {
+	e.pipeOnce.Do(func() {
+		e.pipeline = core.NewPipeline(e.Model(), e.Cfg.Seed+2)
+		e.pipeline.Monitor.Samples = e.Cfg.MCSamples
+	})
+	return e.pipeline
+}
+
+// Bayesian returns a monitor around the trained model with the configured
+// sample count.
+func (e *Env) Bayesian() *monitor.Bayesian {
+	b := monitor.NewBayesian(e.Model(), e.Cfg.Seed+3)
+	b.Samples = e.Cfg.MCSamples
+	return b
+}
+
+// Experiment is one registered paper artifact reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(e *Env, w io.Writer) error
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Table I — severity scale and casualty model", Run: RunE1},
+		{ID: "E2", Title: "Table II — main ground risks, derived by Monte-Carlo impact simulation", Run: RunE2},
+		{ID: "E3", Title: "Section III-D — MEDI DELIVERY physics and SORA assessment", Run: RunE3},
+		{ID: "E4", Title: "Tables III/IV — EL criteria and implementation self-assessment", Run: RunE4},
+		{ID: "E5", Title: "Figure 1 — safety-switch failure-injection matrix", Run: RunE5},
+		{ID: "E6", Title: "Figure 3 — synthetic UAVid-like dataset statistics", Run: RunE6},
+		{ID: "E7", Title: "Figure 4 — segmentation + runtime monitoring, in-distribution vs out-of-distribution", Run: RunE7},
+		{ID: "E8", Title: "Section II-B.4 — landing strategy comparison (EL vs baselines)", Run: RunE8},
+		{ID: "E9", Title: "Section V-B — Bayesian inference timing: sub-image vs full frame", Run: RunE9},
+		{ID: "E10", Title: "Conclusion/future work — quantitative monitor study (τ, samples, σ, dropout)", Run: RunE10},
+	}
+}
+
+// RunByID runs one experiment by its ID.
+func RunByID(id string, e *Env, w io.Writer) error {
+	for _, exp := range All() {
+		if exp.ID == id {
+			fmt.Fprintf(w, "\n=== %s: %s ===\n", exp.ID, exp.Title)
+			return exp.Run(e, w)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll runs every experiment in order, stopping at the first error.
+func RunAll(e *Env, w io.Writer) error {
+	for _, exp := range All() {
+		fmt.Fprintf(w, "\n=== %s: %s ===\n", exp.ID, exp.Title)
+		if err := exp.Run(e, w); err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var sharedEnv struct {
+	once sync.Once
+	env  *Env
+}
+
+// quickEnv returns one shared quick-scale environment: the trained model is
+// reused across experiment tests.
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	sharedEnv.once.Do(func() {
+		sharedEnv.env = NewEnv(QuickConfig(), nil)
+	})
+	return sharedEnv.env
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := All()
+	if len(exps) != 10 {
+		t.Fatalf("registry has %d experiments, want 10 (E1–E10)", len(exps))
+	}
+	seen := map[string]bool{}
+	for i, exp := range exps {
+		want := "E" + string(rune('1'+i))
+		if i == 9 {
+			want = "E10"
+		}
+		if exp.ID != want {
+			t.Errorf("experiment %d has ID %q, want %q", i, exp.ID, want)
+		}
+		if exp.Title == "" || exp.Run == nil {
+			t.Errorf("experiment %s incomplete", exp.ID)
+		}
+		if seen[exp.ID] {
+			t.Errorf("duplicate experiment ID %s", exp.ID)
+		}
+		seen[exp.ID] = true
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunByID("E99", quickEnv(t), &buf); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestE1Severity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE1(quickEnv(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Catastrophic", "Multiple fatal injuries", "8230"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q", want)
+		}
+	}
+}
+
+func TestE2TableII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE2(quickEnv(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("E2 derived severities diverge from Table II:\n%s", out)
+	}
+	for _, id := range []string{"R1", "R2", "R3", "R4", "R5"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("E2 missing outcome %s", id)
+		}
+	}
+}
+
+func TestE3SORANumbers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE3(quickEnv(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"48.5", "8.23", "final GRC 6", "SAIL V", "final GRC 7", "SAIL VI", "final GRC 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE4Criteria(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE4(quickEnv(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table III", "Table IV", "EL-A-M3", "robustness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E4 output missing %q", want)
+		}
+	}
+}
+
+func TestE6DatasetStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE6(quickEnv(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"road", "building", "sunset", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E6 output missing %q", want)
+		}
+	}
+}
+
+// TestE5E7E8E9E10 exercises the model-dependent experiments end to end at
+// quick scale; correctness of the numbers is asserted loosely (shapes), the
+// full-scale run is cmd/elbench's job.
+func TestE5E7E8E9E10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiments")
+	}
+	env := quickEnv(t)
+	for _, id := range []string{"E7", "E5", "E8", "E9", "E10"} {
+		var buf bytes.Buffer
+		if err := RunByID(id, env, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+		t.Logf("%s output:\n%s", id, buf.String())
+	}
+}

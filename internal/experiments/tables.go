@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"safeland/internal/core"
+	"safeland/internal/hazard"
+	"safeland/internal/imaging"
+	"safeland/internal/sora"
+	"safeland/internal/uav"
+	"safeland/internal/urban"
+)
+
+// RunE1 prints Table I and the casualty-model anchors behind it.
+func RunE1(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Severity table (paper Table I):")
+	for _, s := range hazard.SeverityTable() {
+		fmt.Fprintf(w, "  %d  %-12s %s\n", int(s), s, s.Description())
+	}
+	fmt.Fprintln(w, "\nCasualty-model anchors (P(fatality) by impact energy and sheltering):")
+	fmt.Fprintf(w, "  %-12s", "energy")
+	shelters := []struct {
+		name string
+		v    float64
+	}{{"open(0.5)", 0.5}, {"trees(2.5)", 2.5}, {"building(7.5)", 7.5}}
+	for _, s := range shelters {
+		fmt.Fprintf(w, " %14s", s.name)
+	}
+	fmt.Fprintln(w)
+	for _, energy := range []float64{80, 700, 8230, 34_000, 1_084_000} {
+		fmt.Fprintf(w, "  %-12.0f", energy)
+		for _, s := range shelters {
+			fmt.Fprintf(w, " %14.4f", hazard.FatalityProbability(energy, s.v))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\n(8230 J is the paper's MEDI DELIVERY ballistic impact; 80 J its parachute impact.)")
+	return nil
+}
+
+// RunE2 derives Table II: it samples impact points of each outcome class
+// from generated city scenes, assesses each with the casualty model, and
+// compares the modal derived severity against the paper's rating.
+func RunE2(e *Env, w io.Writer) error {
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 20))
+	scenes := urban.GenerateSet(e.SceneConfig(), urban.DefaultConditions(), 4, e.Cfg.Seed+21)
+	spec := uav.MediDelivery()
+	ballisticKE := uav.BallisticImpactEnergy(spec.MTOWKg, spec.CruiseAltM)
+
+	type scenario struct {
+		id      string
+		desc    string
+		surface func(imaging.Class) bool
+		paper   hazard.Severity
+	}
+	scenarios := []scenario{
+		{"R1", "UAV causes accident involving ground vehicles", func(c imaging.Class) bool { return c == imaging.Road || c == imaging.MovingCar }, hazard.Catastrophic},
+		{"R2", "UAV injures people on ground", func(c imaging.Class) bool { return c == imaging.Humans }, hazard.Major},
+		{"R3", "Post-crash fire threatens wildlife/environment", func(c imaging.Class) bool { return c == imaging.LowVegetation || c == imaging.Tree }, hazard.Serious},
+		{"R4", "UAV collides with infrastructure", func(c imaging.Class) bool { return c == imaging.Building }, hazard.Serious},
+		{"R5", "UAV crashes into parked ground vehicle", func(c imaging.Class) bool { return c == imaging.StaticCar }, hazard.Minor},
+	}
+
+	fmt.Fprintf(w, "%d Monte-Carlo ballistic impacts per outcome (%.1f kJ, rush hour):\n\n", e.Cfg.MonteCarloImpacts, ballisticKE/1000)
+	fmt.Fprintf(w, "  %-3s %-48s %12s %10s %10s %8s\n", "ID", "outcome", "E[fatal]", "derived", "paper", "match")
+	allMatch := true
+	for _, sc := range scenarios {
+		var sumFatal float64
+		sevCounts := map[hazard.Severity]int{}
+		n := 0
+		for n < e.Cfg.MonteCarloImpacts {
+			s := scenes[rng.Intn(len(scenes))]
+			x, y := rng.Intn(s.Labels.W), rng.Intn(s.Labels.H)
+			c := s.Labels.At(x, y)
+			if !sc.surface(c) {
+				continue
+			}
+			n++
+			a := hazard.Assess(hazard.Impact{
+				Surface:        c,
+				KineticEnergyJ: ballisticKE,
+				SpanM:          spec.SpanM,
+				PeoplePerM2:    exposureDensity(sc.id, c),
+				TrafficFactor:  urban.TrafficFactor(18), // rush hour: worst case
+			})
+			sumFatal += a.ExpectedFatalities
+			if sc.id == "R3" {
+				// R3 *is* the post-crash fire outcome: rate the fire's
+				// severity, not the (small) direct strike toll.
+				sevCounts[hazard.FireOutcomeSeverity(c)]++
+			} else {
+				sevCounts[a.Severity]++
+			}
+		}
+		derived := modalSeverity(sevCounts)
+		match := "yes"
+		if derived != sc.paper {
+			match = "NO"
+			allMatch = false
+		}
+		fmt.Fprintf(w, "  %-3s %-48s %12.3f %10s %10s %8s\n",
+			sc.id, sc.desc, sumFatal/float64(n), derived, sc.paper, match)
+	}
+	if !allMatch {
+		fmt.Fprintln(w, "\nWARNING: derived severities diverge from the paper's Table II.")
+	} else {
+		fmt.Fprintln(w, "\nDerived severities reproduce the paper's Table II ordering exactly.")
+	}
+	return nil
+}
+
+// exposureDensity returns the exposed-population density for an outcome
+// scenario: R2 is by definition an impact where people are present.
+func exposureDensity(id string, c imaging.Class) float64 {
+	if id == "R2" {
+		return 0.25 // people within the lethal area by construction
+	}
+	return urban.ClassDensity(c, 18)
+}
+
+func modalSeverity(counts map[hazard.Severity]int) hazard.Severity {
+	best, bestN := hazard.Negligible, -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s > best) {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// RunE3 reproduces the Section III-D walkthrough: the physics numbers and
+// the SORA chain with and without mitigations, then with EL credit.
+func RunE3(e *Env, w io.Writer) error {
+	spec := uav.MediDelivery()
+	v := uav.BallisticImpactSpeed(spec.CruiseAltM)
+	ke := uav.KineticEnergy(spec.MTOWKg, v)
+	fmt.Fprintf(w, "MEDI DELIVERY physics:\n")
+	fmt.Fprintf(w, "  ballistic speed from %.0f m : %6.1f m/s   (paper: 48.5)\n", spec.CruiseAltM, v)
+	fmt.Fprintf(w, "  kinetic energy at %.0f kg   : %6.2f kJ    (paper: 8.23)\n", spec.MTOWKg, ke/1000)
+
+	op := sora.Operation{
+		Name:           spec.Name,
+		SpanM:          spec.SpanM,
+		KineticEnergyJ: ke,
+		Scenario:       sora.BVLOSPopulated,
+		Airspace:       sora.Airspace{MaxHeightFt: spec.CruiseAltM * 3.28084, Urban: true},
+	}
+	m3 := sora.Mitigation{Type: sora.M3, Integrity: sora.Medium, Assurance: sora.Medium}
+
+	fmt.Fprintln(w, "\nSORA assessments:")
+	cases := []struct {
+		label string
+		mits  []sora.Mitigation
+	}{
+		{"no mitigations (paper: GRC 7, SAIL VI)", nil},
+		{"M3 medium (paper: GRC 6, SAIL V)", []sora.Mitigation{m3}},
+		{"M3 medium + EL low", []sora.Mitigation{m3, {Type: sora.ActiveM1, Integrity: sora.Low, Assurance: sora.Low}}},
+		{"M3 medium + EL medium", []sora.Mitigation{m3, {Type: sora.ActiveM1, Integrity: sora.Medium, Assurance: sora.Medium}}},
+		{"M3 medium + EL high", []sora.Mitigation{m3, {Type: sora.ActiveM1, Integrity: sora.High, Assurance: sora.High}}},
+	}
+	for _, c := range cases {
+		op.Mitigations = c.mits
+		a := sora.Assess(op)
+		if a.Err != nil {
+			fmt.Fprintf(w, "  %-42s GRC %d -> not assignable (%v)\n", c.label, a.FinalGRC, a.Err)
+			continue
+		}
+		burden := sora.OSOBurden(a.SAIL)
+		fmt.Fprintf(w, "  %-42s intrinsic GRC %d, final GRC %d, %s, %s, OSO@High %d\n",
+			c.label, a.IntrinsicGRC, a.FinalGRC, a.ResidualARC, a.SAIL, burden[sora.High])
+	}
+	fmt.Fprintln(w, "\nEL as an accepted active-M1 mitigation lowers the SAIL and the high-robustness")
+	fmt.Fprintln(w, "OSO burden — the paper's motivation for defining Tables III/IV.")
+	return nil
+}
+
+// RunE4 prints the paper's Tables III/IV and the automated self-assessment
+// of this repository's EL implementation.
+func RunE4(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, sora.CriteriaTable(sora.Integrity))
+	fmt.Fprintln(w, sora.CriteriaTable(sora.Assurance))
+
+	fmt.Fprintln(w, "Self-assessment of this implementation:")
+	cases := []struct {
+		label  string
+		claims core.Claims
+	}{
+		{"bare implementation", core.Claims{}},
+		{"with in-context testing (E7 in-dist)", core.Claims{InContextTesting: true}},
+		{"plus OOD validation (E7 sunset, E10)", core.Claims{InContextTesting: true, OODValidation: true}},
+		{"plus authority-verified data", core.Claims{InContextTesting: true, OODValidation: true, AuthorityVerifiedData: true}},
+		{"plus third-party validation", core.Claims{InContextTesting: true, OODValidation: true, AuthorityVerifiedData: true, ThirdPartyValidation: true}},
+	}
+	for _, c := range cases {
+		integ, assur := sora.EvaluateEL(core.SelfAssessment(c.claims))
+		m := core.MitigationClaim(c.claims)
+		fmt.Fprintf(w, "  %-40s integrity %-6s assurance %-6s -> robustness %s\n",
+			c.label, integ, assur, m.Robustness())
+	}
+	fmt.Fprintln(w, "\nThe monitor (EL-A-M3) is what unlocks Medium assurance — the paper's key")
+	fmt.Fprintln(w, "argument for runtime monitoring of ML components.")
+	return nil
+}

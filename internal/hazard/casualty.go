@@ -1,0 +1,154 @@
+package hazard
+
+import (
+	"math"
+
+	"safeland/internal/imaging"
+)
+
+// The casualty model follows the standard UAS ground-risk literature
+// (Dalamagkidis et al.): probability of fatality as a logistic-like function
+// of impact kinetic energy attenuated by a sheltering factor, combined with
+// a lethal-area model and local population density to yield expected
+// fatalities. The model backs Table II quantitatively and drives the
+// risk-reduction comparison between landing strategies (experiment E8).
+
+const (
+	// alphaJ is the impact energy needed for 50% fatality probability at
+	// sheltering factor 6 (Dalamagkidis).
+	alphaJ = 1e6
+	// betaJ is the impact energy threshold below which fatality probability
+	// collapses.
+	betaJ = 100.0
+)
+
+// FatalityProbability returns P(fatality) for a person struck by a UAV
+// impacting with the given kinetic energy (J) under a sheltering factor
+// (0.3 = open field ... 10 = industrial buildings). Monotone increasing in
+// energy, decreasing in sheltering.
+func FatalityProbability(kineticEnergyJ, sheltering float64) float64 {
+	if kineticEnergyJ <= 0 {
+		return 0
+	}
+	if sheltering < 0.3 {
+		sheltering = 0.3
+	}
+	denom := 1 + math.Sqrt(alphaJ/betaJ)*math.Pow(betaJ/kineticEnergyJ, 3/sheltering)
+	return 1 / denom
+}
+
+// Sheltering returns the sheltering factor offered by each surface class:
+// how much protection bystanders near that surface enjoy.
+func Sheltering(c imaging.Class) float64 {
+	switch c {
+	case imaging.Building:
+		return 7.5 // occupants inside the structure
+	case imaging.Tree:
+		return 2.5 // canopy absorbs part of the impact
+	case imaging.Road, imaging.MovingCar, imaging.StaticCar:
+		return 1.0 // vehicle shells help little against a direct hit + secondary risk
+	default:
+		return 0.5 // open ground
+	}
+}
+
+// LethalArea returns the ground area (m²) within which a person can be
+// struck by a falling UAV of the given characteristic dimension (wingspan or
+// rotor-tip diameter), using the standard person-radius inflation model.
+func LethalArea(spanM float64) float64 {
+	const personRadiusM = 0.3
+	r := spanM/2 + personRadiusM
+	return math.Pi * r * r
+}
+
+// Impact describes one ground impact to assess.
+type Impact struct {
+	// Surface is the semantic class of the impact point.
+	Surface imaging.Class
+	// KineticEnergyJ is the impact energy.
+	KineticEnergyJ float64
+	// SpanM is the UAV characteristic dimension.
+	SpanM float64
+	// PeoplePerM2 is the local exposed population density.
+	PeoplePerM2 float64
+	// TrafficFactor in [0, 1.6] scales the secondary-accident risk when the
+	// surface belongs to the busy-road composite.
+	TrafficFactor float64
+}
+
+// Assessment quantifies an impact.
+type Assessment struct {
+	PFatalityPerPerson float64
+	ExpectedDirect     float64 // expected direct fatalities
+	ExpectedSecondary  float64 // expected fatalities from induced road accidents
+	ExpectedFatalities float64
+	FireProbability    float64
+	Severity           Severity
+}
+
+// Assess computes the expected outcome of an impact and classifies its
+// severity on the Table I scale.
+func Assess(im Impact) Assessment {
+	shelter := Sheltering(im.Surface)
+	p := FatalityProbability(im.KineticEnergyJ, shelter)
+	area := LethalArea(im.SpanM)
+	direct := im.PeoplePerM2 * area * p
+
+	// Secondary accidents: a UAV dropping onto flowing traffic can trigger
+	// multi-vehicle collisions whose expected toll greatly exceeds the
+	// direct strike — the mechanism that makes R1 catastrophic in Table II.
+	// Parked cars belong to the busy-road composite for avoidance purposes
+	// but carry no flowing traffic.
+	var secondary float64
+	if im.Surface == imaging.Road || im.Surface == imaging.MovingCar {
+		pAccident := math.Min(1, 0.55*im.TrafficFactor)
+		const fatalitiesPerAccident = 1.8
+		secondary = pAccident * fatalitiesPerAccident
+	}
+
+	// Post-crash fire driven by battery energy; more likely on vegetation.
+	fire := 0.03
+	if im.Surface == imaging.Tree || im.Surface == imaging.LowVegetation {
+		fire = 0.12
+	}
+
+	total := direct + secondary
+	return Assessment{
+		PFatalityPerPerson: p,
+		ExpectedDirect:     direct,
+		ExpectedSecondary:  secondary,
+		ExpectedFatalities: total,
+		FireProbability:    fire,
+		Severity:           severityFromImpact(im, total),
+	}
+}
+
+// FireOutcomeSeverity rates the post-crash-fire outcome (Table II R3) on a
+// given surface: a battery fire in vegetation threatens wildlife and
+// environment (Serious); on mineral surfaces it stays local (Minor).
+func FireOutcomeSeverity(c imaging.Class) Severity {
+	if c == imaging.LowVegetation || c == imaging.Tree {
+		return Serious
+	}
+	return Minor
+}
+
+// severityFromImpact maps the expected toll and context onto Table I.
+func severityFromImpact(im Impact, expectedFatalities float64) Severity {
+	switch {
+	case expectedFatalities >= 1.0:
+		return Catastrophic
+	case expectedFatalities >= 0.25:
+		return Major
+	case im.Surface == imaging.Building:
+		return Serious // structural/infrastructure damage
+	case im.Surface == imaging.StaticCar:
+		return Minor // property damage, vehicle likely unoccupied
+	case expectedFatalities >= 0.02:
+		return Serious
+	case im.KineticEnergyJ > 500:
+		return Minor // drone destroyed, slight injury potential
+	default:
+		return Negligible
+	}
+}

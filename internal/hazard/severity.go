@@ -1,0 +1,155 @@
+// Package hazard implements the paper's Section III-B preliminary hazard
+// analysis substrate: the severity scale (Table I), the main ground-risk
+// outcomes (Table II), the Belcastro-style hazard taxonomy the analysis
+// extends, and a quantitative casualty model that lets the severity ratings
+// be *derived* from simulated impacts instead of merely asserted.
+package hazard
+
+import "fmt"
+
+// Severity rates the worst credible outcome of a hazardous event, following
+// the paper's Table I.
+type Severity int
+
+// Severity levels (Table I).
+const (
+	Negligible   Severity = 1 // no effect
+	Minor        Severity = 2 // slight injury or damage to the drone
+	Serious      Severity = 3 // important injury or damage to critical infrastructure, environment
+	Major        Severity = 4 // single fatal injury
+	Catastrophic Severity = 5 // multiple fatal injuries
+)
+
+// String returns the Table I severity name.
+func (s Severity) String() string {
+	switch s {
+	case Negligible:
+		return "Negligible"
+	case Minor:
+		return "Minor"
+	case Serious:
+		return "Serious"
+	case Major:
+		return "Major"
+	case Catastrophic:
+		return "Catastrophic"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Description returns the Table I description of the level.
+func (s Severity) Description() string {
+	switch s {
+	case Negligible:
+		return "No effect"
+	case Minor:
+		return "Slight injury or damage to the drone"
+	case Serious:
+		return "Important injury or damage to critical infrastructures, environment"
+	case Major:
+		return "Single fatal injury"
+	case Catastrophic:
+		return "Multiple fatal injuries"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether s is one of the five Table I levels.
+func (s Severity) Valid() bool { return s >= Negligible && s <= Catastrophic }
+
+// SeverityTable returns Table I in order.
+func SeverityTable() []Severity {
+	return []Severity{Negligible, Minor, Serious, Major, Catastrophic}
+}
+
+// Outcome is one hazardous outcome of the ground-risk analysis (Table II).
+type Outcome struct {
+	ID          string
+	Description string
+	Severity    Severity
+}
+
+// MainGroundRisks returns the paper's Table II: the principal hazardous
+// outcomes of losing navigation capability over a city, with their assessed
+// severities.
+func MainGroundRisks() []Outcome {
+	return []Outcome{
+		{ID: "R1", Description: "UAV causes accident involving ground vehicles", Severity: Catastrophic},
+		{ID: "R2", Description: "UAV injures people on ground", Severity: Major},
+		{ID: "R3", Description: "Post-crash fire that threatens wildlife and environment", Severity: Serious},
+		{ID: "R4", Description: "UAV collides with infrastructure (building, bridge, power lines / sub-station)", Severity: Serious},
+		{ID: "R5", Description: "UAV crashes into parked ground vehicle", Severity: Minor},
+	}
+}
+
+// Category is one of the hazard categories from the Belcastro et al. (2017)
+// analysis of civil UAV operations the paper builds on.
+type Category int
+
+// The fourteen Belcastro hazard categories.
+const (
+	LossOfControl Category = iota
+	ControlledFlightIntoTerrain
+	FlyAway
+	LostCommunication
+	LossOfNavigation
+	PropulsionFailure
+	MidAirCollision
+	WildlifeStrike
+	StructuralFailure
+	AdverseWeather
+	HumanOperatorError
+	GroundStationFailure
+	PayloadHazard
+	CyberAttack
+
+	// NumCategories is the number of hazard categories.
+	NumCategories = 14
+)
+
+// categoryNames is indexed by Category.
+var categoryNames = [NumCategories]string{
+	"loss of control",
+	"controlled flight into terrain/obstacle",
+	"fly-away",
+	"lost communication",
+	"loss of navigation",
+	"propulsion failure",
+	"mid-air collision",
+	"wildlife strike",
+	"structural failure",
+	"adverse weather",
+	"human operator error",
+	"ground station failure",
+	"payload hazard",
+	"cyber attack",
+}
+
+// String returns the category name.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// GroundRiskOutcomes maps a hazard category to the Table II outcomes it can
+// credibly produce when it forces the UAV to the ground over a city.
+func GroundRiskOutcomes(c Category) []string {
+	switch c {
+	case LossOfControl, PropulsionFailure, StructuralFailure:
+		return []string{"R1", "R2", "R3", "R4", "R5"} // uncontrolled descent: everything
+	case LossOfNavigation, LostCommunication, FlyAway:
+		return []string{"R1", "R2", "R4", "R5"} // forced/blind landing
+	case ControlledFlightIntoTerrain, MidAirCollision, WildlifeStrike:
+		return []string{"R1", "R2", "R4"}
+	case AdverseWeather, HumanOperatorError, GroundStationFailure, CyberAttack:
+		return []string{"R1", "R2", "R4", "R5"}
+	case PayloadHazard:
+		return []string{"R2", "R3"}
+	default:
+		return nil
+	}
+}

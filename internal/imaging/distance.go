@@ -1,0 +1,209 @@
+package imaging
+
+import "math"
+
+// DistanceTransform computes the exact Euclidean distance from every pixel
+// to the nearest pixel where mask holds, using the Felzenszwalb–Huttenlocher
+// lower-envelope algorithm on squared distances (O(W·H)). If no pixel
+// satisfies the mask, every distance is +Inf.
+//
+// Landing-zone selection uses this to score candidate zones by their
+// distance to the nearest busy-road pixel.
+func (lm *LabelMap) DistanceTransform(mask func(Class) bool) *Map {
+	inside := make([]bool, lm.W*lm.H)
+	for i, c := range lm.Pix {
+		inside[i] = mask(c)
+	}
+	return distanceTransform(inside, lm.W, lm.H)
+}
+
+// DistanceTransform computes the exact Euclidean distance from every pixel
+// to the nearest pixel with value >= 0.5 (treating the map as binary).
+func (m *Map) DistanceTransform() *Map {
+	inside := make([]bool, m.W*m.H)
+	for i, v := range m.Pix {
+		inside[i] = v >= 0.5
+	}
+	return distanceTransform(inside, m.W, m.H)
+}
+
+func distanceTransform(inside []bool, w, h int) *Map {
+	const inf = math.MaxFloat32 / 4
+	sq := make([]float32, w*h)
+	for i, in := range inside {
+		if in {
+			sq[i] = 0
+		} else {
+			sq[i] = inf
+		}
+	}
+
+	// Column pass then row pass of the 1-D squared-distance transform.
+	f := make([]float32, maxInt(w, h))
+	d := make([]float32, maxInt(w, h))
+	v := make([]int, maxInt(w, h))
+	z := make([]float32, maxInt(w, h)+1)
+
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			f[y] = sq[y*w+x]
+		}
+		edt1D(f[:h], d[:h], v[:h], z[:h+1])
+		for y := 0; y < h; y++ {
+			sq[y*w+x] = d[y]
+		}
+	}
+	for y := 0; y < h; y++ {
+		copy(f[:w], sq[y*w:(y+1)*w])
+		edt1D(f[:w], d[:w], v[:w], z[:w+1])
+		copy(sq[y*w:(y+1)*w], d[:w])
+	}
+
+	out := &Map{W: w, H: h, Pix: sq}
+	for i, s := range sq {
+		if s >= inf {
+			out.Pix[i] = float32(math.Inf(1))
+		} else {
+			out.Pix[i] = float32(math.Sqrt(float64(s)))
+		}
+	}
+	return out
+}
+
+// edt1D computes the 1-D squared Euclidean distance transform of sampled
+// function f into d, using scratch buffers v (parabola locations) and z
+// (envelope boundaries).
+func edt1D(f, d []float32, v []int, z []float32) {
+	n := len(f)
+	if n == 0 {
+		return
+	}
+	const inf = math.MaxFloat32
+	k := 0
+	v[0] = 0
+	z[0] = -inf
+	z[1] = inf
+	for q := 1; q < n; q++ {
+		var s float32
+		for {
+			p := v[k]
+			// Intersection of parabolas rooted at q and p.
+			s = ((f[q] + float32(q*q)) - (f[p] + float32(p*p))) / float32(2*(q-p))
+			if s > z[k] {
+				break
+			}
+			k--
+		}
+		k++
+		v[k] = q
+		z[k] = s
+		z[k+1] = inf
+	}
+	k = 0
+	for q := 0; q < n; q++ {
+		for z[k+1] < float32(q) {
+			k++
+		}
+		dq := float32(q - v[k])
+		d[q] = dq*dq + f[v[k]]
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Components labels the 4-connected components of pixels where pred holds.
+// It returns a label per pixel (-1 for pixels not matching pred, otherwise a
+// component id in [0, n)) and the component count n.
+func (lm *LabelMap) Components(pred func(Class) bool) (labels []int32, n int) {
+	return components(lm.W, lm.H, func(i int) bool { return pred(lm.Pix[i]) })
+}
+
+// Components labels the 4-connected components of pixels with value >= 0.5.
+func (m *Map) Components() (labels []int32, n int) {
+	return components(m.W, m.H, func(i int) bool { return m.Pix[i] >= 0.5 })
+}
+
+func components(w, h int, in func(int) bool) ([]int32, int) {
+	labels := make([]int32, w*h)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	next := int32(0)
+	for start := 0; start < w*h; start++ {
+		if !in(start) || labels[start] >= 0 {
+			continue
+		}
+		labels[start] = next
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := i%w, i/w
+			for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
+				nx, ny := nb[0], nb[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if in(j) && labels[j] < 0 {
+					labels[j] = next
+					queue = append(queue, j)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// Region summarizes one connected component.
+type Region struct {
+	ID                     int
+	Area                   int
+	MinX, MinY, MaxX, MaxY int     // inclusive bounding box
+	CX, CY                 float64 // centroid
+}
+
+// Regions computes per-component statistics from a label array produced by
+// Components.
+func Regions(labels []int32, w, h, n int) []Region {
+	regs := make([]Region, n)
+	for i := range regs {
+		regs[i] = Region{ID: i, MinX: w, MinY: h, MaxX: -1, MaxY: -1}
+	}
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		r := &regs[l]
+		x, y := i%w, i/w
+		r.Area++
+		r.CX += float64(x)
+		r.CY += float64(y)
+		if x < r.MinX {
+			r.MinX = x
+		}
+		if y < r.MinY {
+			r.MinY = y
+		}
+		if x > r.MaxX {
+			r.MaxX = x
+		}
+		if y > r.MaxY {
+			r.MaxY = y
+		}
+	}
+	for i := range regs {
+		if regs[i].Area > 0 {
+			regs[i].CX /= float64(regs[i].Area)
+			regs[i].CY /= float64(regs[i].Area)
+		}
+	}
+	return regs
+}

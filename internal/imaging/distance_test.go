@@ -1,0 +1,194 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteDistance computes the exact Euclidean distance transform in O(n²) for
+// cross-checking the Felzenszwalb implementation.
+func bruteDistance(inside []bool, w, h int) []float32 {
+	out := make([]float32, w*h)
+	for i := range out {
+		out[i] = float32(math.Inf(1))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			best := math.Inf(1)
+			for sy := 0; sy < h; sy++ {
+				for sx := 0; sx < w; sx++ {
+					if !inside[sy*w+sx] {
+						continue
+					}
+					d := math.Hypot(float64(x-sx), float64(y-sy))
+					if d < best {
+						best = d
+					}
+				}
+			}
+			out[y*w+x] = float32(best)
+		}
+	}
+	return out
+}
+
+func TestDistanceTransformMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		w, h := 3+rng.Intn(14), 3+rng.Intn(14)
+		lm := NewLabelMap(w, h)
+		for i := range lm.Pix {
+			if rng.Float64() < 0.15 {
+				lm.Pix[i] = Road
+			}
+		}
+		got := lm.DistanceTransform(func(c Class) bool { return c == Road })
+		inside := make([]bool, w*h)
+		for i, c := range lm.Pix {
+			inside[i] = c == Road
+		}
+		want := bruteDistance(inside, w, h)
+		for i := range want {
+			g, w2 := float64(got.Pix[i]), float64(want[i])
+			if math.IsInf(w2, 1) {
+				if !math.IsInf(g, 1) {
+					t.Fatalf("trial %d pixel %d: got %v, want +Inf", trial, i, g)
+				}
+				continue
+			}
+			if math.Abs(g-w2) > 1e-3 {
+				t.Fatalf("trial %d pixel %d: got %v, want %v", trial, i, g, w2)
+			}
+		}
+	}
+}
+
+func TestDistanceTransformEmptyMask(t *testing.T) {
+	lm := NewLabelMap(5, 5)
+	d := lm.DistanceTransform(func(c Class) bool { return c == Road })
+	for i, v := range d.Pix {
+		if !math.IsInf(float64(v), 1) {
+			t.Fatalf("pixel %d = %v, want +Inf for empty mask", i, v)
+		}
+	}
+}
+
+func TestDistanceTransformZeroOnMask(t *testing.T) {
+	lm := NewLabelMap(9, 9)
+	lm.FillDisk(4, 4, 2, Road)
+	d := lm.DistanceTransform(func(c Class) bool { return c == Road })
+	for y := 0; y < 9; y++ {
+		for x := 0; x < 9; x++ {
+			if lm.At(x, y) == Road && d.At(x, y) != 0 {
+				t.Fatalf("distance at mask pixel (%d,%d) = %v, want 0", x, y, d.At(x, y))
+			}
+		}
+	}
+	// The far corner must be at hypot distance from the disk edge.
+	want := math.Hypot(4, 4) - 2
+	got := float64(d.At(8, 8))
+	if math.Abs(got-want) > 1.5 { // disk rasterization tolerance
+		t.Errorf("corner distance = %v, want ≈ %v", got, want)
+	}
+}
+
+// TestDistanceTransformLipschitz checks the metric property that neighboring
+// pixels differ by at most 1 in distance (1-Lipschitz along the grid).
+func TestDistanceTransformLipschitz(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 4+rng.Intn(20), 4+rng.Intn(20)
+		m := NewMap(w, h)
+		placed := false
+		for i := range m.Pix {
+			if rng.Float64() < 0.1 {
+				m.Pix[i] = 1
+				placed = true
+			}
+		}
+		if !placed {
+			m.Pix[rng.Intn(w*h)] = 1
+		}
+		d := m.DistanceTransform()
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if x+1 < w {
+					if math.Abs(float64(d.At(x+1, y)-d.At(x, y))) > 1+1e-4 {
+						return false
+					}
+				}
+				if y+1 < h {
+					if math.Abs(float64(d.At(x, y+1)-d.At(x, y))) > 1+1e-4 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsSeparatesRegions(t *testing.T) {
+	lm := NewLabelMap(10, 10)
+	lm.FillRect(0, 0, 3, 3, Building)
+	lm.FillRect(6, 6, 9, 9, Building)
+	labels, n := lm.Components(func(c Class) bool { return c == Building })
+	if n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if labels[0] == labels[6*10+6] {
+		t.Error("disjoint regions share a label")
+	}
+	if labels[5*10+5] != -1 {
+		t.Error("background pixel labeled")
+	}
+}
+
+func TestComponentsDiagonalNotConnected(t *testing.T) {
+	m := NewMap(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	_, n := m.Components()
+	if n != 2 {
+		t.Fatalf("diagonal pixels should form 2 four-connected components, got %d", n)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	lm := NewLabelMap(10, 10)
+	lm.FillRect(2, 3, 5, 7, Tree) // 3 wide, 4 tall = 12 px
+	labels, n := lm.Components(func(c Class) bool { return c == Tree })
+	regs := Regions(labels, 10, 10, n)
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regs))
+	}
+	r := regs[0]
+	if r.Area != 12 {
+		t.Errorf("area = %d, want 12", r.Area)
+	}
+	if r.MinX != 2 || r.MaxX != 4 || r.MinY != 3 || r.MaxY != 6 {
+		t.Errorf("bbox = (%d,%d)-(%d,%d)", r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	if math.Abs(r.CX-3) > 1e-9 || math.Abs(r.CY-4.5) > 1e-9 {
+		t.Errorf("centroid = (%v,%v), want (3,4.5)", r.CX, r.CY)
+	}
+}
+
+func BenchmarkDistanceTransform256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lm := NewLabelMap(256, 256)
+	for i := range lm.Pix {
+		if rng.Float64() < 0.05 {
+			lm.Pix[i] = Road
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.DistanceTransform(Class.BusyRoad)
+	}
+}

@@ -1,0 +1,226 @@
+package imaging
+
+// Drawing primitives paint classes into LabelMaps and scalar values into
+// Maps. They clip silently at the borders so scene generators can place
+// structures partially outside the frame.
+
+// FillRect paints the axis-aligned rectangle [x0,x1)×[y0,y1) with class c.
+func (lm *LabelMap) FillRect(x0, y0, x1, y1 int, c Class) {
+	x0, y0, x1, y1 = clipRect(x0, y0, x1, y1, lm.W, lm.H)
+	for y := y0; y < y1; y++ {
+		row := lm.Pix[y*lm.W : (y+1)*lm.W]
+		for x := x0; x < x1; x++ {
+			row[x] = c
+		}
+	}
+}
+
+// FillRect paints the axis-aligned rectangle [x0,x1)×[y0,y1) with value v.
+func (m *Map) FillRect(x0, y0, x1, y1 int, v float32) {
+	x0, y0, x1, y1 = clipRect(x0, y0, x1, y1, m.W, m.H)
+	for y := y0; y < y1; y++ {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		for x := x0; x < x1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+func clipRect(x0, y0, x1, y1, w, h int) (int, int, int, int) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	return x0, y0, x1, y1
+}
+
+// FillDisk paints a disk of the given radius centered at (cx, cy).
+func (lm *LabelMap) FillDisk(cx, cy, r int, c Class) {
+	r2 := r * r
+	for y := cy - r; y <= cy+r; y++ {
+		if y < 0 || y >= lm.H {
+			continue
+		}
+		dy := y - cy
+		for x := cx - r; x <= cx+r; x++ {
+			if x < 0 || x >= lm.W {
+				continue
+			}
+			dx := x - cx
+			if dx*dx+dy*dy <= r2 {
+				lm.Pix[y*lm.W+x] = c
+			}
+		}
+	}
+}
+
+// FillDisk paints a disk of the given radius centered at (cx, cy).
+func (m *Map) FillDisk(cx, cy, r int, v float32) {
+	r2 := r * r
+	for y := cy - r; y <= cy+r; y++ {
+		if y < 0 || y >= m.H {
+			continue
+		}
+		dy := y - cy
+		for x := cx - r; x <= cx+r; x++ {
+			if x < 0 || x >= m.W {
+				continue
+			}
+			dx := x - cx
+			if dx*dx+dy*dy <= r2 {
+				m.Pix[y*m.W+x] = v
+			}
+		}
+	}
+}
+
+// ThickLine paints a line from (x0, y0) to (x1, y1) with the given half
+// width, using a disk stamp along a Bresenham walk. A halfWidth of 0 paints
+// a one-pixel line.
+func (lm *LabelMap) ThickLine(x0, y0, x1, y1, halfWidth int, c Class) {
+	bresenham(x0, y0, x1, y1, func(x, y int) {
+		if halfWidth <= 0 {
+			if lm.In(x, y) {
+				lm.Set(x, y, c)
+			}
+			return
+		}
+		lm.FillDisk(x, y, halfWidth, c)
+	})
+}
+
+// ThickLine paints a line from (x0, y0) to (x1, y1) with the given half
+// width into the scalar field.
+func (m *Map) ThickLine(x0, y0, x1, y1, halfWidth int, v float32) {
+	bresenham(x0, y0, x1, y1, func(x, y int) {
+		if halfWidth <= 0 {
+			if m.In(x, y) {
+				m.Set(x, y, v)
+			}
+			return
+		}
+		m.FillDisk(x, y, halfWidth, v)
+	})
+}
+
+// bresenham walks the integer line from (x0, y0) to (x1, y1) calling visit
+// for every pixel, endpoints included.
+func bresenham(x0, y0, x1, y1 int, visit func(x, y int)) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		visit(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FillPolygon paints a simple polygon given by its vertices using an
+// even-odd scanline fill. Degenerate polygons (fewer than 3 vertices) are
+// ignored.
+func (lm *LabelMap) FillPolygon(xs, ys []int, c Class) {
+	fillPolygon(xs, ys, lm.W, lm.H, func(x0, x1, y int) {
+		row := lm.Pix[y*lm.W : (y+1)*lm.W]
+		for x := x0; x < x1; x++ {
+			row[x] = c
+		}
+	})
+}
+
+// FillPolygon paints a simple polygon into the scalar field.
+func (m *Map) FillPolygon(xs, ys []int, v float32) {
+	fillPolygon(xs, ys, m.W, m.H, func(x0, x1, y int) {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		for x := x0; x < x1; x++ {
+			row[x] = v
+		}
+	})
+}
+
+func fillPolygon(xs, ys []int, w, h int, span func(x0, x1, y int)) {
+	n := len(xs)
+	if n < 3 || len(ys) != n {
+		return
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxY >= h {
+		maxY = h - 1
+	}
+	var nodes []float64
+	for y := minY; y <= maxY; y++ {
+		nodes = nodes[:0]
+		fy := float64(y) + 0.5
+		j := n - 1
+		for i := 0; i < n; i++ {
+			yi, yj := float64(ys[i]), float64(ys[j])
+			if (yi <= fy && yj > fy) || (yj <= fy && yi > fy) {
+				t := (fy - yi) / (yj - yi)
+				nodes = append(nodes, float64(xs[i])+t*float64(xs[j]-xs[i]))
+			}
+			j = i
+		}
+		// Insertion sort: node lists are tiny.
+		for i := 1; i < len(nodes); i++ {
+			for k := i; k > 0 && nodes[k] < nodes[k-1]; k-- {
+				nodes[k], nodes[k-1] = nodes[k-1], nodes[k]
+			}
+		}
+		for i := 0; i+1 < len(nodes); i += 2 {
+			x0, x1 := int(nodes[i]+0.5), int(nodes[i+1]+0.5)
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > w {
+				x1 = w
+			}
+			if x0 < x1 {
+				span(x0, x1, y)
+			}
+		}
+	}
+}

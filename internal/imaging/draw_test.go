@@ -1,0 +1,129 @@
+package imaging
+
+import "testing"
+
+func TestFillRectClips(t *testing.T) {
+	lm := NewLabelMap(4, 4)
+	lm.FillRect(-2, -2, 10, 2, Road) // clipped to top two rows
+	counts := lm.Counts()
+	if counts[Road] != 8 {
+		t.Fatalf("road pixels = %d, want 8", counts[Road])
+	}
+	m := NewMap(4, 4)
+	m.FillRect(2, 2, 100, 100, 1)
+	if got := m.CountAbove(0.5); got != 4 {
+		t.Fatalf("map rect pixels = %d, want 4", got)
+	}
+}
+
+func TestFillDisk(t *testing.T) {
+	lm := NewLabelMap(11, 11)
+	lm.FillDisk(5, 5, 3, Tree)
+	if lm.At(5, 5) != Tree || lm.At(5, 2) != Tree || lm.At(2, 5) != Tree {
+		t.Error("disk missing interior/axis pixels")
+	}
+	if lm.At(0, 0) != Clutter || lm.At(10, 10) != Clutter {
+		t.Error("disk overflowed corners")
+	}
+	// Disk clipped at border must not panic and must paint in-bounds pixels.
+	lm.FillDisk(0, 0, 3, Building)
+	if lm.At(0, 0) != Building {
+		t.Error("clipped disk did not paint origin")
+	}
+}
+
+func TestThickLine(t *testing.T) {
+	lm := NewLabelMap(20, 20)
+	lm.ThickLine(0, 10, 19, 10, 2, Road)
+	for x := 0; x < 20; x++ {
+		if lm.At(x, 10) != Road {
+			t.Fatalf("centerline pixel (%d,10) not painted", x)
+		}
+		if lm.At(x, 12) != Road || lm.At(x, 8) != Road {
+			t.Fatalf("line thickness missing at x=%d", x)
+		}
+	}
+	if lm.At(5, 14) == Road {
+		t.Error("line thicker than requested")
+	}
+	// Zero half-width paints a single-pixel diagonal.
+	lm2 := NewLabelMap(10, 10)
+	lm2.ThickLine(0, 0, 9, 9, 0, MovingCar)
+	if lm2.At(0, 0) != MovingCar || lm2.At(9, 9) != MovingCar || lm2.At(5, 5) != MovingCar {
+		t.Error("diagonal thin line incomplete")
+	}
+}
+
+func TestMapThickLine(t *testing.T) {
+	m := NewMap(10, 10)
+	m.ThickLine(0, 0, 9, 0, 0, 3)
+	if m.At(0, 0) != 3 || m.At(9, 0) != 3 {
+		t.Error("map thin line endpoints missing")
+	}
+	m.ThickLine(0, 5, 9, 5, 1, 7)
+	if m.At(4, 4) != 7 || m.At(4, 6) != 7 {
+		t.Error("map thick line width missing")
+	}
+}
+
+func TestFillPolygonTriangle(t *testing.T) {
+	lm := NewLabelMap(20, 20)
+	lm.FillPolygon([]int{2, 18, 2}, []int{2, 2, 18}, Building)
+	if lm.At(4, 4) != Building {
+		t.Error("triangle interior not filled")
+	}
+	if lm.At(18, 18) == Building {
+		t.Error("triangle filled outside hypotenuse")
+	}
+	// A degenerate polygon is a no-op.
+	before := lm.Counts()
+	lm.FillPolygon([]int{1, 2}, []int{1, 2}, Road)
+	if lm.Counts() != before {
+		t.Error("degenerate polygon painted pixels")
+	}
+}
+
+func TestFillPolygonMatchesRect(t *testing.T) {
+	a := NewLabelMap(16, 16)
+	b := NewLabelMap(16, 16)
+	a.FillRect(3, 4, 12, 11, Road)
+	b.FillPolygon([]int{3, 12, 12, 3}, []int{4, 4, 11, 11}, Road)
+	ca, cb := a.Counts(), b.Counts()
+	// Scanline center-sampling may differ from half-open rects by at most a
+	// one-pixel rim.
+	diff := ca[Road] - cb[Road]
+	if diff < 0 {
+		diff = -diff
+	}
+	perimeter := 2 * ((12 - 3) + (11 - 4))
+	if diff > perimeter {
+		t.Errorf("polygon rect fill differs from FillRect by %d pixels (perimeter %d)", diff, perimeter)
+	}
+}
+
+func TestMapFillPolygon(t *testing.T) {
+	m := NewMap(10, 10)
+	m.FillPolygon([]int{0, 9, 9, 0}, []int{0, 0, 9, 9}, 1)
+	if m.At(5, 5) != 1 {
+		t.Error("polygon fill missed center")
+	}
+}
+
+func TestBresenhamEndpoints(t *testing.T) {
+	tests := []struct{ x0, y0, x1, y1 int }{
+		{0, 0, 5, 0}, {0, 0, 0, 5}, {5, 5, 0, 0}, {0, 5, 5, 0}, {3, 3, 3, 3},
+	}
+	for _, tt := range tests {
+		var pts [][2]int
+		bresenham(tt.x0, tt.y0, tt.x1, tt.y1, func(x, y int) { pts = append(pts, [2]int{x, y}) })
+		if len(pts) == 0 {
+			t.Fatalf("no points for %+v", tt)
+		}
+		if pts[0] != [2]int{tt.x0, tt.y0} {
+			t.Errorf("line %+v does not start at origin: %v", tt, pts[0])
+		}
+		if pts[len(pts)-1] != [2]int{tt.x1, tt.y1} {
+			t.Errorf("line %+v does not end at target: %v", tt, pts[len(pts)-1])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package imaging
+
+// Integral is a summed-area table over a scalar field, supporting O(1)
+// rectangle sums. It is used by tile-based landing-zone baselines to compute
+// per-tile statistics quickly.
+type Integral struct {
+	W, H int
+	sum  []float64 // (W+1)×(H+1), sum[y][x] = sum of field over [0,x)×[0,y)
+}
+
+// NewIntegral builds the summed-area table of m.
+func NewIntegral(m *Map) *Integral {
+	w, h := m.W, m.H
+	it := &Integral{W: w, H: h, sum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 0; y < h; y++ {
+		var rowSum float64
+		for x := 0; x < w; x++ {
+			rowSum += float64(m.Pix[y*w+x])
+			it.sum[(y+1)*stride+x+1] = it.sum[y*stride+x+1] + rowSum
+		}
+	}
+	return it
+}
+
+// RectSum returns the sum of the field over [x0,x1)×[y0,y1). The rectangle
+// is clipped to the field bounds; an empty rectangle sums to zero.
+func (it *Integral) RectSum(x0, y0, x1, y1 int) float64 {
+	x0, y0, x1, y1 = clipRect(x0, y0, x1, y1, it.W, it.H)
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	stride := it.W + 1
+	return it.sum[y1*stride+x1] - it.sum[y0*stride+x1] -
+		it.sum[y1*stride+x0] + it.sum[y0*stride+x0]
+}
+
+// RectMean returns the mean of the field over [x0,x1)×[y0,y1), 0 if empty.
+func (it *Integral) RectMean(x0, y0, x1, y1 int) float64 {
+	cx0, cy0, cx1, cy1 := clipRect(x0, y0, x1, y1, it.W, it.H)
+	area := (cx1 - cx0) * (cy1 - cy0)
+	if area <= 0 {
+		return 0
+	}
+	return it.RectSum(x0, y0, x1, y1) / float64(area)
+}
+
+// ClassIntegral holds one summed-area table per class, enabling O(1)
+// per-class pixel counts over any rectangle of a label map.
+type ClassIntegral struct {
+	W, H int
+	per  [NumClasses]*Integral
+}
+
+// NewClassIntegral builds per-class summed-area tables of lm.
+func NewClassIntegral(lm *LabelMap) *ClassIntegral {
+	ci := &ClassIntegral{W: lm.W, H: lm.H}
+	masks := make([]*Map, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		masks[c] = NewMap(lm.W, lm.H)
+	}
+	for i, c := range lm.Pix {
+		if int(c) < NumClasses {
+			masks[c].Pix[i] = 1
+		}
+	}
+	for c := 0; c < NumClasses; c++ {
+		ci.per[c] = NewIntegral(masks[c])
+	}
+	return ci
+}
+
+// Count returns the number of pixels of class c inside [x0,x1)×[y0,y1).
+func (ci *ClassIntegral) Count(c Class, x0, y0, x1, y1 int) int {
+	if !c.Valid() {
+		return 0
+	}
+	return int(ci.per[c].RectSum(x0, y0, x1, y1) + 0.5)
+}
+
+// Fraction returns the fraction of pixels of class c inside the rectangle.
+func (ci *ClassIntegral) Fraction(c Class, x0, y0, x1, y1 int) float64 {
+	cx0, cy0, cx1, cy1 := clipRect(x0, y0, x1, y1, ci.W, ci.H)
+	area := (cx1 - cx0) * (cy1 - cy0)
+	if area <= 0 {
+		return 0
+	}
+	return float64(ci.Count(c, x0, y0, x1, y1)) / float64(area)
+}
+
+// BusyRoadFraction returns the fraction of busy-road pixels (road + cars)
+// inside the rectangle.
+func (ci *ClassIntegral) BusyRoadFraction(x0, y0, x1, y1 int) float64 {
+	var f float64
+	for _, c := range BusyRoadClasses() {
+		f += ci.Fraction(c, x0, y0, x1, y1)
+	}
+	return f
+}

@@ -1,0 +1,114 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegralRectSumMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMap(13, 9)
+	for i := range m.Pix {
+		m.Pix[i] = rng.Float32()
+	}
+	it := NewIntegral(m)
+	naive := func(x0, y0, x1, y1 int) float64 {
+		var s float64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				if m.In(x, y) {
+					s += float64(m.At(x, y))
+				}
+			}
+		}
+		return s
+	}
+	rects := [][4]int{
+		{0, 0, 13, 9}, {0, 0, 1, 1}, {3, 2, 7, 8}, {12, 8, 13, 9},
+		{5, 5, 5, 5}, {-3, -3, 4, 4}, {10, 2, 20, 20},
+	}
+	for _, r := range rects {
+		got := it.RectSum(r[0], r[1], r[2], r[3])
+		cx0, cy0, cx1, cy1 := clipRect(r[0], r[1], r[2], r[3], 13, 9)
+		want := naive(cx0, cy0, cx1, cy1)
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("RectSum%v = %v, want %v", r, got, want)
+		}
+	}
+}
+
+// TestIntegralAdditivity checks the property that splitting any rectangle
+// vertically yields two sums adding to the whole.
+func TestIntegralAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMap(24, 24)
+	for i := range m.Pix {
+		m.Pix[i] = rng.Float32()
+	}
+	it := NewIntegral(m)
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x0, y0 := r.Intn(20), r.Intn(20)
+		x1, y1 := x0+1+r.Intn(24-x0-1), y0+1+r.Intn(24-y0-1)
+		if x1-x0 < 2 {
+			return true
+		}
+		mid := x0 + 1 + r.Intn(x1-x0-1)
+		whole := it.RectSum(x0, y0, x1, y1)
+		split := it.RectSum(x0, y0, mid, y1) + it.RectSum(mid, y0, x1, y1)
+		return math.Abs(whole-split) < 1e-4
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegralRectMean(t *testing.T) {
+	m := NewMap(4, 4)
+	m.Fill(2)
+	it := NewIntegral(m)
+	if got := it.RectMean(0, 0, 4, 4); math.Abs(got-2) > 1e-9 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+	if got := it.RectMean(2, 2, 2, 2); got != 0 {
+		t.Errorf("empty-rect mean = %v, want 0", got)
+	}
+}
+
+func TestClassIntegralCounts(t *testing.T) {
+	lm := NewLabelMap(16, 16)
+	lm.FillRect(0, 0, 8, 16, Road)
+	lm.FillRect(8, 0, 16, 8, Building)
+	ci := NewClassIntegral(lm)
+	if got := ci.Count(Road, 0, 0, 16, 16); got != 128 {
+		t.Errorf("road count = %d, want 128", got)
+	}
+	if got := ci.Count(Building, 0, 0, 16, 16); got != 64 {
+		t.Errorf("building count = %d, want 64", got)
+	}
+	if got := ci.Count(Clutter, 8, 8, 16, 16); got != 64 {
+		t.Errorf("clutter count = %d, want 64", got)
+	}
+	if got := ci.Fraction(Road, 0, 0, 8, 8); math.Abs(got-1) > 1e-9 {
+		t.Errorf("road fraction in road quadrant = %v, want 1", got)
+	}
+	if got := ci.Count(Class(200), 0, 0, 16, 16); got != 0 {
+		t.Errorf("invalid-class count = %d, want 0", got)
+	}
+}
+
+func TestClassIntegralBusyRoadFraction(t *testing.T) {
+	lm := NewLabelMap(10, 10)
+	lm.FillRect(0, 0, 5, 10, Road)
+	lm.FillRect(5, 0, 7, 10, StaticCar)
+	lm.FillRect(7, 0, 8, 10, MovingCar)
+	ci := NewClassIntegral(lm)
+	if got := ci.BusyRoadFraction(0, 0, 10, 10); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("busy road fraction = %v, want 0.8", got)
+	}
+	if got := ci.BusyRoadFraction(8, 0, 10, 10); got != 0 {
+		t.Errorf("clutter strip busy fraction = %v, want 0", got)
+	}
+}

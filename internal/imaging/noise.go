@@ -1,0 +1,65 @@
+package imaging
+
+import "math"
+
+// Noise is a seeded, deterministic fractal value-noise field used for
+// procedural textures (asphalt grain, grass mottling, roof weathering).
+// The zero value is unusable; construct with NewNoise.
+type Noise struct {
+	seed uint64
+}
+
+// NewNoise returns a noise field derived from the seed. Two fields with the
+// same seed produce identical values.
+func NewNoise(seed int64) *Noise {
+	return &Noise{seed: splitmix64(uint64(seed))}
+}
+
+// hash2 produces a deterministic value in [0, 1) from integer lattice
+// coordinates, decorrelated by the field seed.
+func (n *Noise) hash2(x, y int64) float32 {
+	h := splitmix64(uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ n.seed)
+	return float32(h>>11) / float32(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Value returns smooth value noise in [0, 1) at continuous position (x, y)
+// with the given feature frequency (features per unit distance).
+func (n *Noise) Value(x, y, freq float64) float32 {
+	fx, fy := x*freq, y*freq
+	x0, y0 := int64(math.Floor(fx)), int64(math.Floor(fy))
+	tx := float32(fx - math.Floor(fx))
+	ty := float32(fy - math.Floor(fy))
+	// Smoothstep fade for C1 continuity.
+	tx = tx * tx * (3 - 2*tx)
+	ty = ty * ty * (3 - 2*ty)
+	v00 := n.hash2(x0, y0)
+	v10 := n.hash2(x0+1, y0)
+	v01 := n.hash2(x0, y0+1)
+	v11 := n.hash2(x0+1, y0+1)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+// FBM returns fractal Brownian motion: octaves of value noise with
+// per-octave frequency doubling and gain 0.5, normalized to [0, 1).
+func (n *Noise) FBM(x, y, freq float64, octaves int) float32 {
+	var sum, amp, norm float32 = 0, 1, 0
+	for o := 0; o < octaves; o++ {
+		sum += amp * n.Value(x, y, freq)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}

@@ -1,0 +1,70 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoiseDeterministic(t *testing.T) {
+	a, b := NewNoise(42), NewNoise(42)
+	for i := 0; i < 50; i++ {
+		x, y := float64(i)*1.37, float64(i)*0.61
+		if a.Value(x, y, 0.3) != b.Value(x, y, 0.3) {
+			t.Fatalf("same-seed noise differs at (%v,%v)", x, y)
+		}
+	}
+}
+
+func TestNoiseSeedsDiffer(t *testing.T) {
+	a, b := NewNoise(1), NewNoise(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		x, y := float64(i)*0.913, float64(i%7)*1.771
+		if a.Value(x, y, 0.5) == b.Value(x, y, 0.5) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds agree on %d/100 samples", same)
+	}
+}
+
+func TestNoiseRange(t *testing.T) {
+	property := func(seed int64, xi, yi int16) bool {
+		n := NewNoise(seed)
+		x, y := float64(xi)/7.3, float64(yi)/11.9
+		v := n.Value(x, y, 0.45)
+		f := n.FBM(x, y, 0.2, 4)
+		return v >= 0 && v < 1.0001 && f >= 0 && f < 1.0001
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseSmoothness(t *testing.T) {
+	n := NewNoise(9)
+	// Adjacent samples at small steps should differ by far less than the
+	// full range: value noise is C1.
+	var maxStep float64
+	prev := n.Value(0, 0, 0.1)
+	for i := 1; i < 1000; i++ {
+		v := n.Value(float64(i)*0.01, 0, 0.1)
+		step := math.Abs(float64(v - prev))
+		if step > maxStep {
+			maxStep = step
+		}
+		prev = v
+	}
+	if maxStep > 0.05 {
+		t.Errorf("max adjacent step %v too large for smooth noise", maxStep)
+	}
+}
+
+func TestFBMZeroOctaves(t *testing.T) {
+	n := NewNoise(3)
+	if got := n.FBM(1, 2, 0.5, 0); got != 0 {
+		t.Errorf("FBM with 0 octaves = %v, want 0", got)
+	}
+}

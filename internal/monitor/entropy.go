@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"math"
+
+	"safeland/internal/imaging"
+	"safeland/internal/nn"
+	"safeland/internal/segment"
+	"safeland/internal/urban"
+)
+
+// The paper's conclusion lists "other uncertainty estimation techniques"
+// as future work. This file adds the two standard alternatives to the
+// σ-interval rule so they can be compared head-to-head (experiment E10):
+//
+//   - predictive entropy H[E[p]]: total uncertainty of the averaged
+//     prediction;
+//   - BALD mutual information H[E[p]] − E[H[p]]: the epistemic part only,
+//     which is the theoretically right quantity for detecting
+//     out-of-distribution inputs (model disagreement across dropout
+//     masks), as opposed to aleatoric class ambiguity.
+
+// EntropyStats extends the Monte-Carlo statistics with the entropy
+// decomposition.
+type EntropyStats struct {
+	Stats
+	// Predictive is H of the mean predictive distribution, per pixel
+	// (nats).
+	Predictive *imaging.Map
+	// Expected is the mean over samples of each sample's entropy (nats).
+	Expected *imaging.Map
+	// MutualInformation is Predictive − Expected (clamped at 0): the BALD
+	// score.
+	MutualInformation *imaging.Map
+}
+
+// MCEntropyStats runs the same stochastic forward passes as MCStats and
+// additionally decomposes predictive uncertainty into aleatoric and
+// epistemic parts.
+func (b *Bayesian) MCEntropyStats(img *imaging.Image) EntropyStats {
+	if b.Samples < 2 {
+		panic("monitor: need at least 2 MC samples")
+	}
+	nn.SetDropoutMode(b.Model.Net, nn.AlwaysOn)
+	defer nn.SetDropoutMode(b.Model.Net, nn.Auto)
+	nn.ReseedDropout(b.Model.Net, b.Seed)
+
+	var sum, sumSq *nn.Tensor
+	var expEnt *imaging.Map
+	for s := 0; s < b.Samples; s++ {
+		probs := nn.SoftmaxChannels(b.Model.Net.Forward(segment.ToTensor(img), false))
+		if sum == nil {
+			sum = probs.ZerosLike()
+			sumSq = probs.ZerosLike()
+			expEnt = imaging.NewMap(img.W, img.H)
+		}
+		for i, v := range probs.Data {
+			sum.Data[i] += v
+			sumSq.Data[i] += v * v
+		}
+		accumulateEntropy(expEnt, probs)
+	}
+	n := float32(b.Samples)
+	mean := sum
+	std := sumSq
+	for i := range mean.Data {
+		m := mean.Data[i] / n
+		mean.Data[i] = m
+		v := sumSq.Data[i]/n - m*m
+		if v < 0 {
+			v = 0
+		}
+		std.Data[i] = float32(math.Sqrt(float64(v)))
+	}
+	for i := range expEnt.Pix {
+		expEnt.Pix[i] /= n
+	}
+	pred := entropyOf(mean)
+	mi := imaging.NewMap(img.W, img.H)
+	for i := range mi.Pix {
+		d := pred.Pix[i] - expEnt.Pix[i]
+		if d < 0 {
+			d = 0
+		}
+		mi.Pix[i] = d
+	}
+	return EntropyStats{
+		Stats:             Stats{Mean: mean, Std: std},
+		Predictive:        pred,
+		Expected:          expEnt,
+		MutualInformation: mi,
+	}
+}
+
+// accumulateEntropy adds each pixel's sample entropy into acc.
+func accumulateEntropy(acc *imaging.Map, probs *nn.Tensor) {
+	_, c, h, w := probs.Dims4()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var e float64
+			for ci := 0; ci < c; ci++ {
+				p := float64(probs.At4(0, ci, y, x))
+				if p > 1e-12 {
+					e -= p * math.Log(p)
+				}
+			}
+			acc.Pix[y*w+x] += float32(e)
+		}
+	}
+}
+
+// entropyOf computes per-pixel entropy of a [1,C,H,W] distribution tensor.
+func entropyOf(probs *nn.Tensor) *imaging.Map {
+	_, c, h, w := probs.Dims4()
+	out := imaging.NewMap(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var e float64
+			for ci := 0; ci < c; ci++ {
+				p := float64(probs.At4(0, ci, y, x))
+				if p > 1e-12 {
+					e -= p * math.Log(p)
+				}
+			}
+			out.Pix[y*w+x] = float32(e)
+		}
+	}
+	return out
+}
+
+// UncertaintyKind selects the flagging signal of an alternative monitor.
+type UncertaintyKind int
+
+// Alternative monitor signals.
+const (
+	// SigmaInterval is the paper's µ+kσ ≤ τ rule on busy-road scores.
+	SigmaInterval UncertaintyKind = iota
+	// PredictiveEntropy flags pixels whose averaged prediction is uncertain.
+	PredictiveEntropy
+	// MutualInformation flags pixels where dropout masks disagree (BALD).
+	MutualInformation
+)
+
+// String names the signal.
+func (k UncertaintyKind) String() string {
+	switch k {
+	case SigmaInterval:
+		return "sigma-interval"
+	case PredictiveEntropy:
+		return "predictive-entropy"
+	case MutualInformation:
+		return "mutual-information"
+	default:
+		return "uncertainty(?)"
+	}
+}
+
+// FlagsBy applies an alternative uncertainty signal at the given threshold,
+// returning a binary flag map. For SigmaInterval the threshold is τ of the
+// default 3σ rule; for the entropy signals it is the nats cutoff.
+func (es EntropyStats) FlagsBy(kind UncertaintyKind, threshold float32) *imaging.Map {
+	switch kind {
+	case PredictiveEntropy:
+		return es.Predictive.Threshold(threshold)
+	case MutualInformation:
+		return es.MutualInformation.Threshold(threshold)
+	default:
+		return Rule{Tau: threshold, Sigmas: 3}.PixelFlags(es.Stats)
+	}
+}
+
+// SignalPoint is one operating point of an alternative-signal sweep.
+type SignalPoint struct {
+	Kind      UncertaintyKind
+	Threshold float32
+	Quality   Quality
+}
+
+// SweepSignal evaluates one uncertainty signal across thresholds on the
+// scenes, reusing the Monte-Carlo statistics. It mirrors SweepTau for the
+// alternative signals so E10 can compare them at matched false-warning
+// rates.
+func SweepSignal(b *Bayesian, scenes []*urban.Scene, kind UncertaintyKind, thresholds []float32) []SignalPoint {
+	type sceneEval struct {
+		scene *urban.Scene
+		pred  *imaging.LabelMap
+		es    EntropyStats
+	}
+	evals := make([]sceneEval, len(scenes))
+	for i, s := range scenes {
+		evals[i] = sceneEval{scene: s, pred: b.Model.Predict(s.Image), es: b.MCEntropyStats(s.Image)}
+	}
+	out := make([]SignalPoint, 0, len(thresholds))
+	for _, thr := range thresholds {
+		var missed, missedFlagged, safePx, safeFlagged, flagged, total int64
+		for _, ev := range evals {
+			flags := ev.es.FlagsBy(kind, thr)
+			for i, truth := range ev.scene.Labels.Pix {
+				total++
+				isFlagged := flags.Pix[i] >= 0.5
+				if isFlagged {
+					flagged++
+				}
+				if truth.BusyRoad() {
+					if !ev.pred.Pix[i].BusyRoad() {
+						missed++
+						if isFlagged {
+							missedFlagged++
+						}
+					}
+				} else {
+					safePx++
+					if isFlagged {
+						safeFlagged++
+					}
+				}
+			}
+		}
+		q := Quality{Pixels: total}
+		if missed > 0 {
+			q.HazardMissCoverage = float64(missedFlagged) / float64(missed)
+		} else {
+			q.HazardMissCoverage = 1
+		}
+		if safePx > 0 {
+			q.FalseWarningRate = float64(safeFlagged) / float64(safePx)
+		}
+		if total > 0 {
+			q.FlaggedFraction = float64(flagged) / float64(total)
+		}
+		out = append(out, SignalPoint{Kind: kind, Threshold: thr, Quality: q})
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"safeland/internal/imaging"
+	"safeland/internal/urban"
+)
+
+func TestMCEntropyStatsDecomposition(t *testing.T) {
+	m, scenes := trainedTinyModel(t)
+	b := NewBayesian(m, 13)
+	b.Samples = 6
+	es := b.MCEntropyStats(scenes[0].Image)
+
+	maxEnt := float32(math.Log(float64(imaging.NumClasses)))
+	for i := range es.Predictive.Pix {
+		p := es.Predictive.Pix[i]
+		e := es.Expected.Pix[i]
+		mi := es.MutualInformation.Pix[i]
+		if p < 0 || p > maxEnt+1e-4 {
+			t.Fatalf("predictive entropy %v outside [0, ln 8]", p)
+		}
+		if e < 0 || e > maxEnt+1e-4 {
+			t.Fatalf("expected entropy %v outside [0, ln 8]", e)
+		}
+		if mi < 0 {
+			t.Fatalf("negative mutual information %v", mi)
+		}
+		// MI = predictive − expected (clamped): Jensen guarantees
+		// predictive ≥ expected up to float error, so MI ≈ p − e.
+		if diff := float64(p - e - mi); diff > 1e-3 {
+			t.Fatalf("MI decomposition broken: p=%v e=%v mi=%v", p, e, mi)
+		}
+	}
+	// Mean/std must match the plain MCStats under the same seed.
+	st := b.MCStats(scenes[0].Image)
+	for i := range st.Mean.Data {
+		if math.Abs(float64(st.Mean.Data[i]-es.Mean.Data[i])) > 1e-6 {
+			t.Fatal("entropy stats diverge from MCStats mean under same seed")
+		}
+	}
+}
+
+func TestEntropySignalsDetectOOD(t *testing.T) {
+	m, _ := trainedTinyModel(t)
+	b := NewBayesian(m, 14)
+	b.Samples = 6
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 96, 96
+	day := urban.Generate(cfg, urban.DefaultConditions(), 810)
+	sunset := urban.Generate(cfg, urban.SunsetConditions(), 810)
+
+	dayES := b.MCEntropyStats(day.Image)
+	sunES := b.MCEntropyStats(sunset.Image)
+	if sunES.Predictive.Mean() <= dayES.Predictive.Mean() {
+		t.Error("predictive entropy should rise under distribution shift")
+	}
+	if sunES.MutualInformation.Mean() <= dayES.MutualInformation.Mean() {
+		t.Error("mutual information should rise under distribution shift")
+	}
+}
+
+func TestFlagsByMonotoneInThreshold(t *testing.T) {
+	m, scenes := trainedTinyModel(t)
+	b := NewBayesian(m, 15)
+	b.Samples = 5
+	es := b.MCEntropyStats(scenes[0].Image)
+	for _, kind := range []UncertaintyKind{SigmaInterval, PredictiveEntropy, MutualInformation} {
+		prev := -1
+		for _, thr := range []float32{0.05, 0.125, 0.3, 0.8} {
+			n := es.FlagsBy(kind, thr).CountAbove(0.5)
+			if prev >= 0 && n > prev {
+				t.Errorf("%v: flagged count increased with threshold (%d -> %d)", kind, prev, n)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestSweepSignalShapes(t *testing.T) {
+	m, scenes := trainedTinyModel(t)
+	b := NewBayesian(m, 16)
+	b.Samples = 5
+	pts := SweepSignal(b, scenes[:1], MutualInformation, []float32{0.01, 0.05, 0.2})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Kind != MutualInformation {
+			t.Error("kind not propagated")
+		}
+		q := pt.Quality
+		if q.FlaggedFraction < 0 || q.FlaggedFraction > 1 || q.FalseWarningRate < 0 || q.FalseWarningRate > 1 {
+			t.Errorf("point %d out of range: %+v", i, q)
+		}
+		if i > 0 && q.FlaggedFraction > pts[i-1].Quality.FlaggedFraction+1e-9 {
+			t.Error("flagged fraction not non-increasing in threshold")
+		}
+	}
+}
+
+func TestUncertaintyKindStrings(t *testing.T) {
+	for k, want := range map[UncertaintyKind]string{
+		SigmaInterval:     "sigma-interval",
+		PredictiveEntropy: "predictive-entropy",
+		MutualInformation: "mutual-information",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

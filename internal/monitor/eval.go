@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"fmt"
+
+	"safeland/internal/imaging"
+	"safeland/internal/urban"
+)
+
+// Quality quantifies monitor behavior against ground truth — the "formal
+// quantitative study" the paper's conclusion calls for.
+type Quality struct {
+	// HazardMissCoverage is the fraction of busy-road pixels missed by the
+	// deterministic core model that the monitor flags: the paper's headline
+	// qualitative claim ("the monitor seems able to trigger uncertainty
+	// warnings for a large part of the road areas not covered by the core
+	// model"), made measurable.
+	HazardMissCoverage float64
+	// FalseWarningRate is the fraction of truly-safe pixels flagged; each
+	// false warning costs a retry or an aborted flight.
+	FalseWarningRate float64
+	// FlaggedFraction is the overall fraction of flagged pixels.
+	FlaggedFraction float64
+	// CoreBusyRecall is the deterministic model's busy-road recall, for
+	// reference.
+	CoreBusyRecall float64
+	// Pixels is the number of pixels evaluated.
+	Pixels int64
+}
+
+// String renders the quality headline.
+func (q Quality) String() string {
+	return fmt.Sprintf("miss-coverage %.3f, false-warning %.3f, flagged %.3f (core busy-recall %.3f)",
+		q.HazardMissCoverage, q.FalseWarningRate, q.FlaggedFraction, q.CoreBusyRecall)
+}
+
+// Evaluate measures monitor quality over full scenes: for every pixel it
+// compares ground truth, the deterministic core prediction, and the monitor
+// flag.
+func Evaluate(b *Bayesian, scenes []*urban.Scene, rule Rule) Quality {
+	var missed, missedFlagged, safePx, safeFlagged, flagged, total int64
+	var busyTruth, busyCaught int64
+	for _, s := range scenes {
+		pred := b.Model.Predict(s.Image)
+		st := b.MCStats(s.Image)
+		flags := rule.PixelFlags(st)
+		for i, truth := range s.Labels.Pix {
+			total++
+			isBusy := truth.BusyRoad()
+			predBusy := pred.Pix[i].BusyRoad()
+			isFlagged := flags.Pix[i] >= 0.5
+			if isFlagged {
+				flagged++
+			}
+			if isBusy {
+				busyTruth++
+				if predBusy {
+					busyCaught++
+				} else {
+					missed++
+					if isFlagged {
+						missedFlagged++
+					}
+				}
+			} else {
+				safePx++
+				if isFlagged {
+					safeFlagged++
+				}
+			}
+		}
+	}
+	q := Quality{Pixels: total}
+	if missed > 0 {
+		q.HazardMissCoverage = float64(missedFlagged) / float64(missed)
+	} else {
+		q.HazardMissCoverage = 1 // nothing was missed: vacuously covered
+	}
+	if safePx > 0 {
+		q.FalseWarningRate = float64(safeFlagged) / float64(safePx)
+	}
+	if total > 0 {
+		q.FlaggedFraction = float64(flagged) / float64(total)
+	}
+	if busyTruth > 0 {
+		q.CoreBusyRecall = float64(busyCaught) / float64(busyTruth)
+	}
+	return q
+}
+
+// ROCPoint is one operating point of the τ sweep.
+type ROCPoint struct {
+	Tau     float32
+	Quality Quality
+}
+
+// SweepTau evaluates monitor quality across decision thresholds, reusing the
+// expensive MC statistics across thresholds.
+func SweepTau(b *Bayesian, scenes []*urban.Scene, taus []float32, sigmas float32) []ROCPoint {
+	type sceneEval struct {
+		scene *urban.Scene
+		pred  *imaging.LabelMap
+		st    Stats
+	}
+	evals := make([]sceneEval, len(scenes))
+	for i, s := range scenes {
+		evals[i] = sceneEval{scene: s, pred: b.Model.Predict(s.Image), st: b.MCStats(s.Image)}
+	}
+	out := make([]ROCPoint, 0, len(taus))
+	for _, tau := range taus {
+		rule := Rule{Tau: tau, Sigmas: sigmas}
+		var missed, missedFlagged, safePx, safeFlagged, flagged, total int64
+		for _, ev := range evals {
+			flags := rule.PixelFlags(ev.st)
+			for i, truth := range ev.scene.Labels.Pix {
+				total++
+				isFlagged := flags.Pix[i] >= 0.5
+				if isFlagged {
+					flagged++
+				}
+				if truth.BusyRoad() {
+					if !ev.pred.Pix[i].BusyRoad() {
+						missed++
+						if isFlagged {
+							missedFlagged++
+						}
+					}
+				} else {
+					safePx++
+					if isFlagged {
+						safeFlagged++
+					}
+				}
+			}
+		}
+		q := Quality{Pixels: total}
+		if missed > 0 {
+			q.HazardMissCoverage = float64(missedFlagged) / float64(missed)
+		} else {
+			q.HazardMissCoverage = 1
+		}
+		if safePx > 0 {
+			q.FalseWarningRate = float64(safeFlagged) / float64(safePx)
+		}
+		if total > 0 {
+			q.FlaggedFraction = float64(flagged) / float64(total)
+		}
+		out = append(out, ROCPoint{Tau: tau, Quality: q})
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package monitor implements the paper's runtime safety monitor for the
+// landing-zone selection model: a Bayesian (Monte-Carlo dropout) variant of
+// the segmentation network whose per-pixel predictive uncertainty feeds a
+// conservative busy-road over-approximation rule (µ + 3σ ≤ τ).
+//
+// The monitor discharges the paper's Medium-3 assurance requirement
+// (Table IV): "safety monitoring techniques are in place to ensure proper
+// behavior of any function relying on complex computer vision or machine
+// learning".
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"safeland/internal/imaging"
+	"safeland/internal/nn"
+	"safeland/internal/segment"
+)
+
+// Bayesian wraps a trained segmentation model and produces Monte-Carlo
+// predictive statistics by keeping dropout active at inference (Gal &
+// Ghahramani 2016). The paper's BMSDnet.
+type Bayesian struct {
+	Model *segment.Model
+	// Samples is the number of stochastic forward passes; the paper uses 10.
+	Samples int
+	// Seed makes the MC sample sequence reproducible.
+	Seed int64
+}
+
+// NewBayesian wraps a model with the paper's settings (10 samples).
+func NewBayesian(m *segment.Model, seed int64) *Bayesian {
+	return &Bayesian{Model: m, Samples: 10, Seed: seed}
+}
+
+// Stats holds per-pixel Monte-Carlo statistics of the softmax scores, shape
+// [1,C,H,W] each.
+type Stats struct {
+	Mean *nn.Tensor
+	Std  *nn.Tensor
+}
+
+// MCStats runs Samples stochastic forward passes and returns the empirical
+// mean and standard deviation of the per-pixel softmax scores. The dropout
+// mode is restored afterwards, so the wrapped model can keep serving
+// deterministic predictions.
+func (b *Bayesian) MCStats(img *imaging.Image) Stats {
+	if b.Samples < 2 {
+		panic(fmt.Sprintf("monitor: need at least 2 MC samples, have %d", b.Samples))
+	}
+	nn.SetDropoutMode(b.Model.Net, nn.AlwaysOn)
+	defer nn.SetDropoutMode(b.Model.Net, nn.Auto)
+	nn.ReseedDropout(b.Model.Net, b.Seed)
+
+	var sum, sumSq *nn.Tensor
+	for s := 0; s < b.Samples; s++ {
+		probs := nn.SoftmaxChannels(b.Model.Net.Forward(segment.ToTensor(img), false))
+		if sum == nil {
+			sum = probs.ZerosLike()
+			sumSq = probs.ZerosLike()
+		}
+		for i, v := range probs.Data {
+			sum.Data[i] += v
+			sumSq.Data[i] += v * v
+		}
+	}
+	n := float32(b.Samples)
+	mean := sum
+	std := sumSq
+	for i := range mean.Data {
+		m := mean.Data[i] / n
+		mean.Data[i] = m
+		v := sumSq.Data[i]/n - m*m
+		if v < 0 {
+			v = 0
+		}
+		std.Data[i] = float32(math.Sqrt(float64(v)))
+	}
+	return Stats{Mean: mean, Std: std}
+}
+
+// Rule is the conservative pixel-safety decision rule of the paper
+// (Equation 2): a pixel is safe when µ + Sigmas·σ ≤ Tau for every class of
+// the busy-road composite.
+type Rule struct {
+	// Tau is the decision threshold; the paper picks 0.125 = 1/8 so the road
+	// score stays below a uniform random guess over the 8 UAVid classes.
+	Tau float32
+	// Sigmas is the width of the one-sided confidence interval; the paper
+	// uses 3 (the 99.7% interval).
+	Sigmas float32
+	// MaxFlaggedFraction is the largest fraction of flagged pixels a region
+	// may contain and still be confirmed.
+	MaxFlaggedFraction float64
+}
+
+// DefaultRule returns the paper's parameters: τ = 0.125, 3σ, and zero
+// tolerance for flagged pixels in a confirmed zone.
+func DefaultRule() Rule {
+	return Rule{Tau: 0.125, Sigmas: 3, MaxFlaggedFraction: 0}
+}
+
+// PixelFlags applies the rule to MC statistics and returns a binary map:
+// 1 where the pixel is flagged (possibly busy road), 0 where it is safe.
+func (r Rule) PixelFlags(st Stats) *imaging.Map {
+	_, c, h, w := st.Mean.Dims4()
+	out := imaging.NewMap(w, h)
+	for _, cls := range imaging.BusyRoadClasses() {
+		ci := int(cls)
+		if ci >= c {
+			continue
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				mu := st.Mean.At4(0, ci, y, x)
+				sd := st.Std.At4(0, ci, y, x)
+				if mu+r.Sigmas*sd > r.Tau {
+					out.Set(x, y, 1)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Verdict is the monitor's decision about one candidate landing zone.
+type Verdict struct {
+	// Confirmed is true when the zone passed the conservative check.
+	Confirmed bool
+	// FlaggedFraction is the fraction of zone pixels violating the rule.
+	FlaggedFraction float64
+	// MaxScore is the largest µ + Sigmas·σ over pixels and busy-road
+	// classes — how close the zone came to rejection.
+	MaxScore float32
+	// Flags marks the offending pixels.
+	Flags *imaging.Map
+}
+
+// VerifyRegion runs Bayesian inference on a candidate zone sub-image and
+// applies the rule. This is the paper's Figure 2 monitor path: only the
+// cropped candidate is verified, because full-frame Bayesian inference is
+// prohibitively slow (Section V-B).
+func (b *Bayesian) VerifyRegion(sub *imaging.Image, rule Rule) Verdict {
+	st := b.MCStats(sub)
+	flags := rule.PixelFlags(st)
+	flagged := flags.CountAbove(0.5)
+	frac := float64(flagged) / float64(sub.W*sub.H)
+
+	var maxScore float32
+	_, c, h, w := st.Mean.Dims4()
+	for _, cls := range imaging.BusyRoadClasses() {
+		ci := int(cls)
+		if ci >= c {
+			continue
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				s := st.Mean.At4(0, ci, y, x) + rule.Sigmas*st.Std.At4(0, ci, y, x)
+				if s > maxScore {
+					maxScore = s
+				}
+			}
+		}
+	}
+	return Verdict{
+		Confirmed:       frac <= rule.MaxFlaggedFraction,
+		FlaggedFraction: frac,
+		MaxScore:        maxScore,
+		Flags:           flags,
+	}
+}

@@ -1,0 +1,157 @@
+package nn
+
+import "fmt"
+
+// Sequential chains layers, feeding each output into the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(dout *Tensor) *Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params aggregates all nested parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Walk visits every nested primitive layer.
+func (s *Sequential) Walk(v Visitor) {
+	for _, l := range s.Layers {
+		Walk(l, v)
+	}
+}
+
+// ParallelConcat feeds the same input to every branch and concatenates the
+// branch outputs along the channel dimension. Branches must preserve spatial
+// size. This is the multi-scale fan-out of the paper's MSDnet: each branch
+// is a dilated convolution stack at a different dilation rate.
+type ParallelConcat struct {
+	Branches []Layer
+
+	branchC []int // channel count per branch, recorded at forward
+}
+
+// NewParallelConcat builds a parallel-concat container.
+func NewParallelConcat(branches ...Layer) *ParallelConcat {
+	return &ParallelConcat{Branches: branches}
+}
+
+// Forward evaluates all branches on x and concatenates channels.
+func (p *ParallelConcat) Forward(x *Tensor, train bool) *Tensor {
+	if len(p.Branches) == 0 {
+		panic("nn: ParallelConcat with no branches")
+	}
+	outs := make([]*Tensor, len(p.Branches))
+	// Branches run sequentially: the inner conv loops already saturate the
+	// worker pool, and nesting parallelism would oversubscribe.
+	for i, b := range p.Branches {
+		outs[i] = b.Forward(x, train)
+	}
+	n, _, h, w := outs[0].Dims4()
+	p.branchC = p.branchC[:0]
+	totalC := 0
+	for i, o := range outs {
+		on, oc, ohh, oww := o.Dims4()
+		if on != n || ohh != h || oww != w {
+			panic(fmt.Sprintf("nn: branch %d output %v mismatches %v", i, o.Shape, outs[0].Shape))
+		}
+		p.branchC = append(p.branchC, oc)
+		totalC += oc
+	}
+	out := NewTensor(n, totalC, h, w)
+	cOff := 0
+	for _, o := range outs {
+		oc := o.Shape[1]
+		for bi := 0; bi < n; bi++ {
+			src := o.Data[bi*oc*h*w : (bi+1)*oc*h*w]
+			dst := out.Data[(bi*totalC+cOff)*h*w : (bi*totalC+cOff+oc)*h*w]
+			copy(dst, src)
+		}
+		cOff += oc
+	}
+	return out
+}
+
+// Backward splits the gradient back per branch and sums input gradients.
+func (p *ParallelConcat) Backward(dout *Tensor) *Tensor {
+	n, totalC, h, w := dout.Dims4()
+	var dx *Tensor
+	cOff := 0
+	for i, b := range p.Branches {
+		oc := p.branchC[i]
+		dslice := NewTensor(n, oc, h, w)
+		for bi := 0; bi < n; bi++ {
+			src := dout.Data[(bi*totalC+cOff)*h*w : (bi*totalC+cOff+oc)*h*w]
+			dst := dslice.Data[bi*oc*h*w : (bi+1)*oc*h*w]
+			copy(dst, src)
+		}
+		dbx := b.Backward(dslice)
+		if dx == nil {
+			dx = dbx
+		} else {
+			dx.AddScaled(dbx, 1)
+		}
+		cOff += oc
+	}
+	return dx
+}
+
+// Params aggregates all branch parameters.
+func (p *ParallelConcat) Params() []*Param {
+	var ps []*Param
+	for _, b := range p.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// Walk visits every nested primitive layer.
+func (p *ParallelConcat) Walk(v Visitor) {
+	for _, b := range p.Branches {
+		Walk(b, v)
+	}
+}
+
+// SetDropoutMode sets the mode of every Dropout layer reachable from l.
+// Switching to AlwaysOn converts a trained network into its Monte-Carlo
+// Bayesian variant.
+func SetDropoutMode(l Layer, mode DropoutMode) {
+	Walk(l, func(prim Layer) {
+		if d, ok := prim.(*Dropout); ok {
+			d.Mode = mode
+		}
+	})
+}
+
+// ReseedDropout reseeds every Dropout layer reachable from l with
+// deterministic per-layer offsets, making an MC sample sequence reproducible.
+func ReseedDropout(l Layer, seed int64) {
+	i := int64(0)
+	Walk(l, func(prim Layer) {
+		if d, ok := prim.(*Dropout); ok {
+			d.Reseed(seed + i*7919)
+			i++
+		}
+	})
+}

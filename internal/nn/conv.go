@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conv2D is a 2-D convolution with configurable stride, zero padding and
+// dilation. Dilation is the mechanism behind the paper's Multi-Scale-Dilation
+// net: parallel branches with dilation 1, 2, 4, ... observe the same input at
+// growing receptive fields without losing resolution.
+type Conv2D struct {
+	InC, OutC int
+	K         int // square kernel size
+	Stride    int
+	Pad       int
+	Dilation  int
+
+	W *Param // [OutC, InC, K, K]
+	B *Param // [OutC]
+
+	x *Tensor // cached input for backward
+}
+
+// NewConv2D constructs a convolution with He-initialized weights.
+func NewConv2D(name string, inC, outC, k, stride, pad, dilation int, rng *rand.Rand) *Conv2D {
+	if stride < 1 || dilation < 1 || k < 1 {
+		panic(fmt.Sprintf("nn: invalid conv config k=%d stride=%d dilation=%d", k, stride, dilation))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Dilation: dilation,
+		W: NewParam(name+".W", outC, inC, k, k),
+		B: NewParam(name+".B", outC),
+	}
+	c.W.Value.HeInit(inC*k*k, rng)
+	return c
+}
+
+// OutSize returns the output spatial size for an input of the given size.
+func (c *Conv2D) OutSize(h, w int) (oh, ow int) {
+	ext := (c.K-1)*c.Dilation + 1
+	oh = (h+2*c.Pad-ext)/c.Stride + 1
+	ow = (w+2*c.Pad-ext)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward computes the convolution. The input is cached for Backward.
+func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
+	n, ic, h, w := x.Dims4()
+	if ic != c.InC {
+		panic(fmt.Sprintf("nn: conv expects %d input channels, got %d", c.InC, ic))
+	}
+	oh, ow := c.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv output %dx%d non-positive for input %dx%d", oh, ow, h, w))
+	}
+	out := NewTensor(n, c.OutC, oh, ow)
+	c.x = x
+
+	wdat := c.W.Value.Data
+	bdat := c.B.Value.Data
+	// Parallelize over (batch, out-channel) pairs: disjoint output slices.
+	parallelFor(n*c.OutC, func(job int) {
+		bi, oc := job/c.OutC, job%c.OutC
+		bias := bdat[oc]
+		for oy := 0; oy < oh; oy++ {
+			outRow := out.Data[((bi*c.OutC+oc)*oh+oy)*ow : ((bi*c.OutC+oc)*oh+oy+1)*ow]
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				for icc := 0; icc < c.InC; icc++ {
+					wBase := ((oc*c.InC + icc) * c.K) * c.K
+					xBase := (bi*c.InC + icc) * h * w
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky*c.Dilation
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xRow := xBase + iy*w
+						wRow := wBase + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx*c.Dilation
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += wdat[wRow+kx] * x.Data[xRow+ix]
+						}
+					}
+				}
+				outRow[ox] = sum
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates dW and dB from the cached input and returns dX.
+func (c *Conv2D) Backward(dout *Tensor) *Tensor {
+	x := c.x
+	if x == nil {
+		panic("nn: conv Backward before Forward")
+	}
+	n, _, h, w := x.Dims4()
+	_, _, oh, ow := dout.Dims4()
+	dx := x.ZerosLike()
+	wdat := c.W.Value.Data
+
+	// dB and dW: parallel over output channels (disjoint grad slices).
+	parallelFor(c.OutC, func(oc int) {
+		var db float32
+		for bi := 0; bi < n; bi++ {
+			base := (bi*c.OutC + oc) * oh * ow
+			for i := 0; i < oh*ow; i++ {
+				db += dout.Data[base+i]
+			}
+		}
+		c.B.Grad.Data[oc] += db
+
+		for icc := 0; icc < c.InC; icc++ {
+			for ky := 0; ky < c.K; ky++ {
+				for kx := 0; kx < c.K; kx++ {
+					var dw float32
+					for bi := 0; bi < n; bi++ {
+						doutBase := (bi*c.OutC + oc) * oh * ow
+						xBase := (bi*c.InC + icc) * h * w
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*c.Stride - c.Pad + ky*c.Dilation
+							if iy < 0 || iy >= h {
+								continue
+							}
+							dRow := doutBase + oy*ow
+							xRow := xBase + iy*w
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*c.Stride - c.Pad + kx*c.Dilation
+								if ix < 0 || ix >= w {
+									continue
+								}
+								dw += dout.Data[dRow+ox] * x.Data[xRow+ix]
+							}
+						}
+					}
+					c.W.Grad.Data[((oc*c.InC+icc)*c.K+ky)*c.K+kx] += dw
+				}
+			}
+		}
+	})
+
+	// dX gather: parallel over (batch, in-channel) pairs.
+	parallelFor(n*c.InC, func(job int) {
+		bi, icc := job/c.InC, job%c.InC
+		dxBase := (bi*c.InC + icc) * h * w
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				var acc float32
+				for ky := 0; ky < c.K; ky++ {
+					ny := iy + c.Pad - ky*c.Dilation
+					if ny < 0 || ny%c.Stride != 0 {
+						continue
+					}
+					oy := ny / c.Stride
+					if oy >= oh {
+						continue
+					}
+					for kx := 0; kx < c.K; kx++ {
+						nx := ix + c.Pad - kx*c.Dilation
+						if nx < 0 || nx%c.Stride != 0 {
+							continue
+						}
+						ox := nx / c.Stride
+						if ox >= ow {
+							continue
+						}
+						for oc := 0; oc < c.OutC; oc++ {
+							acc += wdat[((oc*c.InC+icc)*c.K+ky)*c.K+kx] *
+								dout.Data[((bi*c.OutC+oc)*oh+oy)*ow+ox]
+						}
+					}
+				}
+				dx.Data[dxBase+iy*w+ix] = acc
+			}
+		}
+	})
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

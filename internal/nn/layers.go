@@ -1,0 +1,334 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative activations.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward passes gradient only through positive activations.
+func (r *ReLU) Backward(dout *Tensor) *Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// DropoutMode selects when a Dropout layer is active.
+type DropoutMode int
+
+// Dropout modes. Auto is the conventional behavior (active only while
+// training); AlwaysOn keeps dropout active at inference, which is what turns
+// the trained network into its Bayesian Monte-Carlo variant (Gal &
+// Ghahramani 2016, used by the paper's monitor); Off disables it entirely.
+const (
+	Auto DropoutMode = iota
+	AlwaysOn
+	Off
+)
+
+// Dropout randomly zeroes activations with probability P and rescales the
+// survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	P    float64
+	Mode DropoutMode
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout constructs a dropout layer with its own seeded RNG so that
+// Monte-Carlo sampling is reproducible.
+func NewDropout(p float64, seed int64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v outside [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reseed resets the layer RNG, making a subsequent Monte-Carlo sample
+// sequence reproducible.
+func (d *Dropout) Reseed(seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rng = rand.New(rand.NewSource(seed))
+}
+
+func (d *Dropout) active(train bool) bool {
+	switch d.Mode {
+	case AlwaysOn:
+		return true
+	case Off:
+		return false
+	default:
+		return train
+	}
+}
+
+// Forward applies (or bypasses) the dropout mask.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !d.active(train) || d.P == 0 {
+		d.mask = nil
+		return x.Clone()
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]bool, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := float32(1 / (1 - d.P))
+	d.mu.Lock()
+	for i := range out.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// Backward routes gradient through surviving activations only.
+func (d *Dropout) Backward(dout *Tensor) *Tensor {
+	if d.mask == nil {
+		return dout.Clone()
+	}
+	dx := dout.Clone()
+	scale := float32(1 / (1 - d.P))
+	for i := range dx.Data {
+		if d.mask[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// BatchNorm2D normalizes each channel over the batch and spatial dimensions,
+// with learnable scale/shift and running statistics for inference.
+type BatchNorm2D struct {
+	C        int
+	Eps      float32
+	Momentum float32
+
+	Gamma, Beta *Param
+
+	RunningMean, RunningVar []float32
+
+	// caches for backward
+	x        *Tensor
+	xhat     []float32
+	mean, vr []float32
+}
+
+// NewBatchNorm2D constructs a batch norm over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       NewParam(name+".gamma", c),
+		Beta:        NewParam(name+".beta", c),
+		RunningMean: make([]float32, c),
+		RunningVar:  make([]float32, c),
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes with batch statistics (train) or running statistics.
+func (bn *BatchNorm2D) Forward(x *Tensor, train bool) *Tensor {
+	n, c, h, w := x.Dims4()
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: batchnorm expects %d channels, got %d", bn.C, c))
+	}
+	out := x.ZerosLike()
+	cnt := float32(n * h * w)
+	if bn.mean == nil {
+		bn.mean = make([]float32, c)
+		bn.vr = make([]float32, c)
+	}
+	if train {
+		bn.x = x
+		if cap(bn.xhat) < len(x.Data) {
+			bn.xhat = make([]float32, len(x.Data))
+		}
+		bn.xhat = bn.xhat[:len(x.Data)]
+		parallelFor(c, func(ci int) {
+			var sum float64
+			for bi := 0; bi < n; bi++ {
+				base := (bi*c + ci) * h * w
+				for i := 0; i < h*w; i++ {
+					sum += float64(x.Data[base+i])
+				}
+			}
+			mean := float32(sum / float64(cnt))
+			var vsum float64
+			for bi := 0; bi < n; bi++ {
+				base := (bi*c + ci) * h * w
+				for i := 0; i < h*w; i++ {
+					d := x.Data[base+i] - mean
+					vsum += float64(d * d)
+				}
+			}
+			variance := float32(vsum / float64(cnt))
+			bn.mean[ci], bn.vr[ci] = mean, variance
+			bn.RunningMean[ci] = (1-bn.Momentum)*bn.RunningMean[ci] + bn.Momentum*mean
+			bn.RunningVar[ci] = (1-bn.Momentum)*bn.RunningVar[ci] + bn.Momentum*variance
+			inv := float32(1 / math.Sqrt(float64(variance+bn.Eps)))
+			g, b := bn.Gamma.Value.Data[ci], bn.Beta.Value.Data[ci]
+			for bi := 0; bi < n; bi++ {
+				base := (bi*c + ci) * h * w
+				for i := 0; i < h*w; i++ {
+					xh := (x.Data[base+i] - mean) * inv
+					bn.xhat[base+i] = xh
+					out.Data[base+i] = g*xh + b
+				}
+			}
+		})
+		return out
+	}
+	parallelFor(c, func(ci int) {
+		inv := float32(1 / math.Sqrt(float64(bn.RunningVar[ci]+bn.Eps)))
+		mean := bn.RunningMean[ci]
+		g, b := bn.Gamma.Value.Data[ci], bn.Beta.Value.Data[ci]
+		for bi := 0; bi < n; bi++ {
+			base := (bi*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				out.Data[base+i] = g*(x.Data[base+i]-mean)*inv + b
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (bn *BatchNorm2D) Backward(dout *Tensor) *Tensor {
+	x := bn.x
+	if x == nil {
+		panic("nn: batchnorm Backward before training Forward")
+	}
+	n, c, h, w := x.Dims4()
+	dx := x.ZerosLike()
+	m := float32(n * h * w)
+	parallelFor(c, func(ci int) {
+		inv := float32(1 / math.Sqrt(float64(bn.vr[ci]+bn.Eps)))
+		g := bn.Gamma.Value.Data[ci]
+		var dgamma, dbeta, dxhSum, dxhXhatSum float64
+		for bi := 0; bi < n; bi++ {
+			base := (bi*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				dy := dout.Data[base+i]
+				xh := bn.xhat[base+i]
+				dgamma += float64(dy * xh)
+				dbeta += float64(dy)
+				dxh := dy * g
+				dxhSum += float64(dxh)
+				dxhXhatSum += float64(dxh * xh)
+			}
+		}
+		bn.Gamma.Grad.Data[ci] += float32(dgamma)
+		bn.Beta.Grad.Data[ci] += float32(dbeta)
+		for bi := 0; bi < n; bi++ {
+			base := (bi*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				dxh := dout.Data[base+i] * g
+				xh := bn.xhat[base+i]
+				dx.Data[base+i] = inv * (dxh - float32(dxhSum)/m - xh*float32(dxhXhatSum)/m)
+			}
+		}
+	})
+	return dx
+}
+
+// Params returns the scale and shift parameters.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Upsample2x doubles the spatial resolution by nearest-neighbor replication.
+// It lets a stride-2 stem keep the output at input resolution.
+type Upsample2x struct {
+	inH, inW int
+}
+
+// Forward replicates each pixel into a 2×2 block.
+func (u *Upsample2x) Forward(x *Tensor, train bool) *Tensor {
+	n, c, h, w := x.Dims4()
+	u.inH, u.inW = h, w
+	out := NewTensor(n, c, h*2, w*2)
+	parallelFor(n*c, func(job int) {
+		inBase := job * h * w
+		outBase := job * h * w * 4
+		for y := 0; y < h; y++ {
+			for x2 := 0; x2 < w; x2++ {
+				v := x.Data[inBase+y*w+x2]
+				o := outBase + (2*y)*(2*w) + 2*x2
+				out.Data[o] = v
+				out.Data[o+1] = v
+				out.Data[o+2*w] = v
+				out.Data[o+2*w+1] = v
+			}
+		}
+	})
+	return out
+}
+
+// Backward sums the four replicated gradients back into each source pixel.
+func (u *Upsample2x) Backward(dout *Tensor) *Tensor {
+	n, c, oh, ow := dout.Dims4()
+	h, w := oh/2, ow/2
+	dx := NewTensor(n, c, h, w)
+	parallelFor(n*c, func(job int) {
+		inBase := job * h * w
+		outBase := job * oh * ow
+		for y := 0; y < h; y++ {
+			for x2 := 0; x2 < w; x2++ {
+				o := outBase + (2*y)*ow + 2*x2
+				dx.Data[inBase+y*w+x2] = dout.Data[o] + dout.Data[o+1] +
+					dout.Data[o+ow] + dout.Data[o+ow+1]
+			}
+		}
+	})
+	return dx
+}
+
+// Params returns nil: upsampling has no parameters.
+func (u *Upsample2x) Params() []*Param { return nil }

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoints store parameter values only; the architecture is rebuilt by
+// code and the values are poured back in by position. This keeps the format
+// stable regardless of how containers nest.
+
+// checkpoint is the on-wire format. Batch-norm running statistics are state
+// rather than parameters, so they travel in their own fields.
+type checkpoint struct {
+	Names  []string
+	Shapes [][]int
+	Data   [][]float32
+
+	BNMeans [][]float32
+	BNVars  [][]float32
+}
+
+// SaveParams writes all parameters and batch-norm running statistics of the
+// network to w in a gob-encoded checkpoint.
+func SaveParams(w io.Writer, net Layer) error {
+	params := net.Params()
+	cp := checkpoint{
+		Names:  make([]string, len(params)),
+		Shapes: make([][]int, len(params)),
+		Data:   make([][]float32, len(params)),
+	}
+	for i, p := range params {
+		cp.Names[i] = p.Name
+		cp.Shapes[i] = p.Value.Shape
+		cp.Data[i] = p.Value.Data
+	}
+	Walk(net, func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			cp.BNMeans = append(cp.BNMeans, bn.RunningMean)
+			cp.BNVars = append(cp.BNVars, bn.RunningVar)
+		}
+	})
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint from r into the network's parameters. The
+// architecture must match: parameter count, order and shapes are verified.
+func LoadParams(r io.Reader, net Layer) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("decoding checkpoint: %w", err)
+	}
+	params := net.Params()
+	if len(params) != len(cp.Data) {
+		return fmt.Errorf("checkpoint has %d parameters, network has %d", len(cp.Data), len(params))
+	}
+	for i, p := range params {
+		if len(cp.Data[i]) != len(p.Value.Data) {
+			return fmt.Errorf("parameter %q: checkpoint size %d, network size %d",
+				p.Name, len(cp.Data[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, cp.Data[i])
+	}
+	var bns []*BatchNorm2D
+	Walk(net, func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			bns = append(bns, bn)
+		}
+	})
+	if len(bns) != len(cp.BNMeans) {
+		return fmt.Errorf("checkpoint has %d batch-norm layers, network has %d", len(cp.BNMeans), len(bns))
+	}
+	for i, bn := range bns {
+		if len(cp.BNMeans[i]) != len(bn.RunningMean) {
+			return fmt.Errorf("batch-norm %d: checkpoint channels %d, network %d",
+				i, len(cp.BNMeans[i]), len(bn.RunningMean))
+		}
+		copy(bn.RunningMean, cp.BNMeans[i])
+		copy(bn.RunningVar, cp.BNVars[i])
+	}
+	return nil
+}

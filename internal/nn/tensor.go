@@ -1,0 +1,163 @@
+// Package nn is a small, dependency-free neural network substrate: float32
+// tensors, 2-D convolutions with dilation, batch normalization, dropout with
+// a Monte-Carlo inference mode, sequential and parallel-concat containers,
+// softmax cross-entropy, SGD/Adam optimizers and parameter serialization.
+//
+// It substitutes for the GPU deep-learning stack the paper's MSDnet runs on.
+// The API is deliberately minimal: everything the segmentation model and the
+// Bayesian monitor need, nothing more.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// NewTensor allocates a zeroed tensor with the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Dims4 returns the NCHW dimensions of a 4-D tensor, panicking otherwise:
+// layers in this package operate on image batches exclusively.
+func (t *Tensor) Dims4() (n, c, h, w int) {
+	if len(t.Shape) != 4 {
+		panic(fmt.Sprintf("nn: expected 4-D tensor, got shape %v", t.Shape))
+	}
+	return t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+}
+
+// At4 returns the element at NCHW position (n, c, y, x).
+func (t *Tensor) At4(n, c, y, x int) float32 {
+	return t.Data[((n*t.Shape[1]+c)*t.Shape[2]+y)*t.Shape[3]+x]
+}
+
+// Set4 writes the element at NCHW position (n, c, y, x).
+func (t *Tensor) Set4(n, c, y, x int, v float32) {
+	t.Data[((n*t.Shape[1]+c)*t.Shape[2]+y)*t.Shape[3]+x] = v
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// ZerosLike returns a zeroed tensor with the same shape.
+func (t *Tensor) ZerosLike() *Tensor {
+	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero resets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// AddScaled accumulates alpha*o into t element-wise.
+func (t *Tensor) AddScaled(o *Tensor, alpha float32) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("nn: AddScaled shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// SameShape reports whether the two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HeInit fills the tensor with Kaiming-He normal values for the given
+// fan-in, the standard initialization for ReLU convolution stacks.
+func (t *Tensor) HeInit(fanIn int, rng *rand.Rand) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()) * std
+	}
+}
+
+// XavierInit fills the tensor with Glorot-uniform values.
+func (t *Tensor) XavierInit(fanIn, fanOut int, rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *Tensor
+	Grad  *Tensor
+}
+
+// NewParam allocates a parameter and its gradient with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: NewTensor(shape...), Grad: NewTensor(shape...)}
+}
+
+// Layer is one differentiable stage. Forward caches whatever Backward needs;
+// Backward consumes the gradient w.r.t. its output and returns the gradient
+// w.r.t. its input, accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x *Tensor, train bool) *Tensor
+	Backward(dout *Tensor) *Tensor
+	Params() []*Param
+}
+
+// Visitor visits every primitive layer in a (possibly nested) network.
+type Visitor func(Layer)
+
+// Walker is implemented by containers that hold sub-layers.
+type Walker interface {
+	Walk(v Visitor)
+}
+
+// Walk applies v to every primitive layer reachable from l, including l
+// itself when it is primitive.
+func Walk(l Layer, v Visitor) {
+	if w, ok := l.(Walker); ok {
+		w.Walk(v)
+		return
+	}
+	v(l)
+}

@@ -1,0 +1,156 @@
+package sora
+
+import "fmt"
+
+// MitigationType is one of the SORA ground-risk mitigation families, plus
+// the paper's proposed active-M1 extension.
+type MitigationType int
+
+// Mitigation types.
+const (
+	// M1 reduces the number of people at risk via strategic (pre-flight)
+	// ground buffers.
+	M1 MitigationType = iota
+	// M2 reduces the effect of ground impact (e.g. parachute).
+	M2
+	// M3 is the emergency response plan.
+	M3
+	// ActiveM1 is the paper's proposal: Emergency Landing that actively
+	// identifies a safe landing zone from live data, claiming M1-type
+	// credit under the Table III/IV criteria.
+	ActiveM1
+)
+
+// String names the mitigation type.
+func (m MitigationType) String() string {
+	switch m {
+	case M1:
+		return "M1 strategic mitigation"
+	case M2:
+		return "M2 reduction of ground impact effects"
+	case M3:
+		return "M3 emergency response plan"
+	case ActiveM1:
+		return "active-M1 emergency landing"
+	default:
+		return fmt.Sprintf("mitigation(%d)", int(m))
+	}
+}
+
+// Mitigation is one claimed mitigation with its demonstrated robustness.
+type Mitigation struct {
+	Type      MitigationType
+	Integrity Robustness
+	Assurance Robustness
+}
+
+// Robustness returns min(integrity, assurance), the SORA combination rule.
+func (m Mitigation) Robustness() Robustness {
+	return CombineRobustness(m.Integrity, m.Assurance)
+}
+
+// grcCredit returns the GRC correction of a mitigation at a robustness
+// level, per SORA v2.0 Table 3. Positive values increase the GRC (the M3
+// penalty when no adequate ERP exists).
+func grcCredit(t MitigationType, r Robustness) int {
+	switch t {
+	case M1, ActiveM1: // the paper proposes EL claims M1-type credit
+		switch r {
+		case Low:
+			return -1
+		case Medium:
+			return -2
+		case High:
+			return -4
+		}
+		return 0
+	case M2:
+		switch r {
+		case Medium:
+			return -1
+		case High:
+			return -2
+		}
+		return 0
+	case M3:
+		switch r {
+		case None, Low:
+			return 1
+		case Medium:
+			return 0
+		case High:
+			return -1
+		}
+	}
+	return 0
+}
+
+// FinalGRC applies the mitigations to the intrinsic GRC per SORA v2.0. An
+// absent M3 costs +1 (the table's None/Low row), which reproduces the
+// paper's "final GRC is at least 6 (7 if no M3 with medium robustness is
+// proposed)".
+func FinalGRC(intrinsic int, mitigations []Mitigation) int {
+	g := intrinsic
+	hasM3 := false
+	for _, m := range mitigations {
+		r := m.Robustness()
+		g += grcCredit(m.Type, r)
+		if m.Type == M3 {
+			hasM3 = true
+		}
+	}
+	if !hasM3 {
+		g += grcCredit(M3, None)
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Operation is a complete SORA input: the UAV, its mission profile and the
+// claimed mitigations.
+type Operation struct {
+	Name string
+
+	SpanM          float64
+	KineticEnergyJ float64
+	Scenario       OperationalScenario
+	Airspace       Airspace
+
+	Mitigations []Mitigation
+}
+
+// Assessment is the outcome of running the SORA on an operation.
+type Assessment struct {
+	IntrinsicGRC int
+	FinalGRC     int
+	InitialARC   ARC
+	ResidualARC  ARC
+	SAIL         SAIL
+	// Err is non-nil when the operation falls outside the specific
+	// category (final GRC above 7).
+	Err error
+	// OSOs lists the applicable operational safety objectives with their
+	// required robustness at the assessed SAIL.
+	OSOs []OSORequirement
+}
+
+// Assess runs the full SORA chain: intrinsic GRC → mitigated GRC → ARC →
+// SAIL → OSO requirements.
+func Assess(op Operation) Assessment {
+	out := Assessment{
+		IntrinsicGRC: IntrinsicGRC(op.Scenario, op.SpanM, op.KineticEnergyJ),
+		InitialARC:   InitialARC(op.Airspace),
+	}
+	out.FinalGRC = FinalGRC(out.IntrinsicGRC, op.Mitigations)
+	// No tactical air-risk mitigation modeled: the paper keeps ARC-c via a
+	// segregated corridor assumption.
+	out.ResidualARC = out.InitialARC
+	sail, err := sailFromGRCARC(out.FinalGRC, out.ResidualARC)
+	out.SAIL, out.Err = sail, err
+	if err == nil {
+		out.OSOs = OSOsForSAIL(sail)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package sora
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a human-readable assessment in the structure of the
+// paper's Section III-D walkthrough.
+func (a Assessment) Report(opName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SORA assessment — %s\n", opName)
+	fmt.Fprintf(&b, "  intrinsic GRC : %d\n", a.IntrinsicGRC)
+	fmt.Fprintf(&b, "  final GRC     : %d\n", a.FinalGRC)
+	fmt.Fprintf(&b, "  initial ARC   : %s\n", a.InitialARC)
+	fmt.Fprintf(&b, "  residual ARC  : %s\n", a.ResidualARC)
+	if a.Err != nil {
+		fmt.Fprintf(&b, "  SAIL          : not assignable (%v)\n", a.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  SAIL          : %s\n", a.SAIL)
+	burden := map[Robustness]int{}
+	for _, req := range a.OSOs {
+		burden[req.Required]++
+	}
+	fmt.Fprintf(&b, "  OSO burden    : %d High, %d Medium, %d Low, %d Optional (of %d)\n",
+		burden[High], burden[Medium], burden[Low], burden[None], len(a.OSOs))
+	return b.String()
+}
+
+// CriteriaTable renders Table III or IV side by side with the classical M1
+// criteria, as the paper presents them.
+func CriteriaTable(kind CriterionKind) string {
+	var b strings.Builder
+	var elCriteria []Criterion
+	if kind == Integrity {
+		fmt.Fprintln(&b, "Level of Integrity Assessment Criteria for Emergency Landing (Table III)")
+		elCriteria = ELIntegrityCriteria()
+	} else {
+		fmt.Fprintln(&b, "Level of Assurance Assessment Criteria for Emergency Landing (Table IV)")
+		elCriteria = ELAssuranceCriteria()
+	}
+	for _, level := range []Robustness{Low, Medium, High} {
+		fmt.Fprintf(&b, "%s:\n", level)
+		for _, c := range elCriteria {
+			if c.Level == level {
+				fmt.Fprintf(&b, "  [%s] %s\n", c.ID, c.Text)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package sora implements the JARUS Specific Operations Risk Assessment
+// (SORA v2.0) process the paper applies in Section III: intrinsic ground
+// risk class (GRC) determination, air risk class (ARC), the M1/M2/M3
+// mitigation scheme with robustness levels, the SAIL matrix, the OSO
+// requirement table — and the paper's proposed extension: Emergency Landing
+// as an *active-M1* mitigation with its own integrity and assurance
+// criteria (Tables III and IV).
+package sora
+
+import "fmt"
+
+// Robustness is the SORA robustness scale, the combination of integrity
+// (how much safety gain) and assurance (how convincingly demonstrated).
+type Robustness int
+
+// Robustness levels.
+const (
+	None Robustness = iota
+	Low
+	Medium
+	High
+)
+
+// String returns the SORA name of the level.
+func (r Robustness) String() string {
+	switch r {
+	case None:
+		return "None"
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	default:
+		return fmt.Sprintf("Robustness(%d)", int(r))
+	}
+}
+
+// CombineRobustness implements the SORA rule that overall robustness is the
+// weaker of integrity and assurance.
+func CombineRobustness(integrity, assurance Robustness) Robustness {
+	if assurance < integrity {
+		return assurance
+	}
+	return integrity
+}
+
+// ARC is the air risk class.
+type ARC int
+
+// Air risk classes a (lowest) to d (highest).
+const (
+	ARCa ARC = iota + 1
+	ARCb
+	ARCc
+	ARCd
+)
+
+// String returns the SORA notation, e.g. "ARC-c".
+func (a ARC) String() string {
+	if a < ARCa || a > ARCd {
+		return fmt.Sprintf("ARC(%d)", int(a))
+	}
+	return "ARC-" + string(rune('a'+int(a-ARCa)))
+}
+
+// SAIL is the Specific Assurance and Integrity Level, I (lowest) to VI.
+type SAIL int
+
+// SAIL levels.
+const (
+	SAILI SAIL = iota + 1
+	SAILII
+	SAILIII
+	SAILIV
+	SAILV
+	SAILVI
+)
+
+// String returns the SAIL in Roman notation.
+func (s SAIL) String() string {
+	romans := []string{"I", "II", "III", "IV", "V", "VI"}
+	if s < SAILI || s > SAILVI {
+		return fmt.Sprintf("SAIL(%d)", int(s))
+	}
+	return "SAIL " + romans[s-1]
+}
+
+// OperationalScenario is the SORA Table 2 row: where and how the UAV flies.
+type OperationalScenario int
+
+// Operational scenarios in increasing ground-risk order.
+const (
+	ControlledGround OperationalScenario = iota
+	VLOSSparse
+	BVLOSSparse
+	VLOSPopulated
+	BVLOSPopulated
+	VLOSGathering
+	BVLOSGathering
+)
+
+// String names the scenario.
+func (s OperationalScenario) String() string {
+	switch s {
+	case ControlledGround:
+		return "VLOS/BVLOS over controlled ground area"
+	case VLOSSparse:
+		return "VLOS in sparsely populated environment"
+	case BVLOSSparse:
+		return "BVLOS in sparsely populated environment"
+	case VLOSPopulated:
+		return "VLOS in populated environment"
+	case BVLOSPopulated:
+		return "BVLOS in populated environment"
+	case VLOSGathering:
+		return "VLOS over gathering of people"
+	case BVLOSGathering:
+		return "BVLOS over gathering of people"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// sizeColumn returns the SORA Table 2 column index (0-3) from the UAV
+// characteristic dimension (m) and typical kinetic energy (J). The column is
+// the worse (larger) of the two attributes.
+func sizeColumn(spanM, kineticEnergyJ float64) int {
+	colDim := 3
+	switch {
+	case spanM <= 1:
+		colDim = 0
+	case spanM <= 3:
+		colDim = 1
+	case spanM <= 8:
+		colDim = 2
+	}
+	colKE := 3
+	switch {
+	case kineticEnergyJ < 700:
+		colKE = 0
+	case kineticEnergyJ < 34_000:
+		colKE = 1
+	case kineticEnergyJ < 1_084_000:
+		colKE = 2
+	}
+	if colKE > colDim {
+		return colKE
+	}
+	return colDim
+}
+
+// intrinsicGRCTable is SORA v2.0 Table 2, indexed [scenario][sizeColumn].
+// A value of 0 marks combinations outside the specific category.
+var intrinsicGRCTable = [7][4]int{
+	ControlledGround: {1, 2, 3, 4},
+	VLOSSparse:       {2, 3, 4, 5},
+	BVLOSSparse:      {3, 4, 5, 6},
+	VLOSPopulated:    {4, 5, 6, 8},
+	BVLOSPopulated:   {5, 6, 8, 10},
+	VLOSGathering:    {7, 7, 7, 7},
+	BVLOSGathering:   {8, 8, 8, 8},
+}
+
+// IntrinsicGRC computes the SORA Table 2 intrinsic ground risk class.
+func IntrinsicGRC(scenario OperationalScenario, spanM, kineticEnergyJ float64) int {
+	if scenario < ControlledGround || scenario > BVLOSGathering {
+		panic(fmt.Sprintf("sora: unknown scenario %d", int(scenario)))
+	}
+	return intrinsicGRCTable[scenario][sizeColumn(spanM, kineticEnergyJ)]
+}
+
+// Airspace describes the operational airspace for ARC determination.
+type Airspace struct {
+	// MaxHeightFt is the maximum flight height above ground (feet).
+	MaxHeightFt float64
+	// Controlled marks controlled airspace or airport/heliport environment.
+	Controlled bool
+	// Urban marks flight over a populated (urban) area.
+	Urban bool
+	// Atypical marks segregated/atypical airspace (e.g. a reserved
+	// corridor), which maps to ARC-a by definition.
+	Atypical bool
+}
+
+// InitialARC determines the initial air risk class from the airspace,
+// following the SORA v2.0 decision tree in simplified form.
+func InitialARC(a Airspace) ARC {
+	switch {
+	case a.Atypical:
+		return ARCa
+	case a.MaxHeightFt > 500 || a.Controlled:
+		return ARCd
+	case a.Urban:
+		return ARCc // <500 ft, uncontrolled, over urban area
+	default:
+		return ARCb // <500 ft, uncontrolled, rural
+	}
+}
+
+// sailTable is SORA v2.0 Table 4, indexed [finalGRC][ARC]. Zero means the
+// operation falls outside the specific category.
+func sailFromGRCARC(finalGRC int, arc ARC) (SAIL, error) {
+	if finalGRC > 7 {
+		return 0, fmt.Errorf("final GRC %d exceeds 7: operation outside the specific category (certified category required)", finalGRC)
+	}
+	if finalGRC < 1 {
+		finalGRC = 1
+	}
+	switch {
+	case finalGRC <= 2:
+		return map[ARC]SAIL{ARCa: SAILI, ARCb: SAILII, ARCc: SAILIV, ARCd: SAILVI}[arc], nil
+	case finalGRC == 3:
+		return map[ARC]SAIL{ARCa: SAILII, ARCb: SAILII, ARCc: SAILIV, ARCd: SAILVI}[arc], nil
+	case finalGRC == 4:
+		return map[ARC]SAIL{ARCa: SAILIII, ARCb: SAILIII, ARCc: SAILIV, ARCd: SAILVI}[arc], nil
+	case finalGRC == 5:
+		return map[ARC]SAIL{ARCa: SAILIV, ARCb: SAILIV, ARCc: SAILIV, ARCd: SAILVI}[arc], nil
+	case finalGRC == 6:
+		return map[ARC]SAIL{ARCa: SAILV, ARCb: SAILV, ARCc: SAILV, ARCd: SAILVI}[arc], nil
+	default: // 7
+		return SAILVI, nil
+	}
+}

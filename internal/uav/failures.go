@@ -1,0 +1,139 @@
+package uav
+
+import "fmt"
+
+// FailureKind classifies the on-board and external failures the safety
+// switch must react to, derived from the hazard analysis (Section III-B/C).
+type FailureKind int
+
+// Failure kinds.
+const (
+	// NoFailure is the nominal state.
+	NoFailure FailureKind = iota
+	// CommLossTemporary is a transient unavailability of external services
+	// (C2 link drop, GNSS degradation expected to recover).
+	CommLossTemporary
+	// CommLossPermanent is a confirmed permanent loss of communication with
+	// navigation still intact.
+	CommLossPermanent
+	// MotorDegraded is a partial propulsion fault that leaves the vehicle
+	// navigable at reduced performance.
+	MotorDegraded
+	// NavigationLoss is the loss of localization (GNSS + backup) with
+	// trajectory control still available — the paper's EL trigger.
+	NavigationLoss
+	// BatteryCritical leaves energy for a short controlled descent only.
+	BatteryCritical
+	// EngineFailure is a total propulsion loss.
+	EngineFailure
+	// FlightControlFault is a flight-control/actuation fault: attitude
+	// control can no longer be guaranteed.
+	FlightControlFault
+)
+
+// String names the failure kind.
+func (k FailureKind) String() string {
+	switch k {
+	case NoFailure:
+		return "nominal"
+	case CommLossTemporary:
+		return "temporary communication loss"
+	case CommLossPermanent:
+		return "permanent communication loss"
+	case MotorDegraded:
+		return "degraded motor"
+	case NavigationLoss:
+		return "loss of navigation"
+	case BatteryCritical:
+		return "critical battery"
+	case EngineFailure:
+		return "engine failure"
+	case FlightControlFault:
+		return "flight control fault"
+	default:
+		return fmt.Sprintf("failure(%d)", int(k))
+	}
+}
+
+// Navigable reports whether the vehicle can still fly a planned trajectory
+// back to base (position known, propulsion and control available).
+func (k FailureKind) Navigable() bool {
+	switch k {
+	case NoFailure, CommLossTemporary, CommLossPermanent, MotorDegraded:
+		return true
+	default:
+		return false
+	}
+}
+
+// Controllable reports whether the vehicle can still control its trajectory
+// locally (fly to a visually selected zone), even without global
+// localization.
+func (k FailureKind) Controllable() bool {
+	switch k {
+	case EngineFailure, FlightControlFault:
+		return false
+	default:
+		return true
+	}
+}
+
+// Temporary reports whether the failure is expected to clear on its own.
+func (k FailureKind) Temporary() bool { return k == CommLossTemporary }
+
+// Maneuver is an emergency trajectory-management mode from Figure 1.
+type Maneuver int
+
+// Maneuvers, in escalation order.
+const (
+	ContinueMission Maneuver = iota
+	Hover
+	ReturnToBase
+	EmergencyLanding
+	FlightTermination
+)
+
+// String names the maneuver with the paper's abbreviations.
+func (m Maneuver) String() string {
+	switch m {
+	case ContinueMission:
+		return "continue"
+	case Hover:
+		return "hovering (H)"
+	case ReturnToBase:
+		return "return-to-base (RB)"
+	case EmergencyLanding:
+		return "emergency landing (EL)"
+	case FlightTermination:
+		return "flight termination (FT)"
+	default:
+		return fmt.Sprintf("maneuver(%d)", int(m))
+	}
+}
+
+// SelectManeuver implements the Figure 1 safety strategy:
+//
+//   - temporary unavailability of external services → Hover;
+//   - permanent communication loss or on-board failures still allowing
+//     proper navigability → Return-to-Base;
+//   - loss of navigation capabilities still allowing trajectory control →
+//     Emergency Landing (when an EL function is available);
+//   - flight continuation impossible or no safe EL available → Flight
+//     Termination (stop engines, open parachute).
+func SelectManeuver(k FailureKind, elAvailable bool) Maneuver {
+	switch {
+	case k == NoFailure:
+		return ContinueMission
+	case k.Temporary():
+		return Hover
+	case k.Navigable():
+		return ReturnToBase
+	case k.Controllable():
+		if elAvailable {
+			return EmergencyLanding
+		}
+		return FlightTermination
+	default:
+		return FlightTermination
+	}
+}

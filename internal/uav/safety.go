@@ -1,0 +1,125 @@
+package uav
+
+import (
+	"context"
+)
+
+// HealthEvent is one observation on the vehicle health bus. A Failure of
+// NoFailure reports recovery. Tick events (same failure as before) advance
+// the switch's notion of time so it can escalate lingering conditions.
+type HealthEvent struct {
+	T       float64 // simulation time (s)
+	Failure FailureKind
+}
+
+// Decision is an output of the safety switch: the maneuver to engage.
+type Decision struct {
+	T        float64
+	Failure  FailureKind
+	Maneuver Maneuver
+}
+
+// Switch is the paper's Figure 1 safety switch: a continuous monitoring
+// loop that analyses acquisition data and triggers the suitable emergency
+// procedure when a critical anomaly is detected. It runs as a goroutine
+// consuming health events and emitting maneuver decisions.
+type Switch struct {
+	// ELAvailable gates the Emergency Landing branch; without it the switch
+	// falls through to Flight Termination.
+	ELAvailable bool
+	// HoverTimeoutS escalates a temporary loss into a permanent one after
+	// this long in Hover (default 30 s).
+	HoverTimeoutS float64
+}
+
+// Run consumes events until the context is cancelled or the event channel
+// closes, sending a Decision whenever the selected maneuver changes. It
+// closes the decisions channel on return.
+func (s *Switch) Run(ctx context.Context, events <-chan HealthEvent, decisions chan<- Decision) {
+	defer close(decisions)
+	hoverTimeout := s.HoverTimeoutS
+	if hoverTimeout <= 0 {
+		hoverTimeout = 30
+	}
+	current := NoFailure
+	maneuver := ContinueMission
+	hoverSince := -1.0
+
+	emit := func(t float64, m Maneuver) bool {
+		if m == maneuver {
+			return true
+		}
+		maneuver = m
+		select {
+		case decisions <- Decision{T: t, Failure: current, Maneuver: m}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if ev.Failure != current {
+				current = ev.Failure
+				hoverSince = -1
+			}
+			m := SelectManeuver(current, s.ELAvailable)
+			if m == Hover {
+				if hoverSince < 0 {
+					hoverSince = ev.T
+				}
+				if ev.T-hoverSince >= hoverTimeout {
+					// A "temporary" loss that lingers is treated as
+					// permanent: escalate to Return-to-Base.
+					current = CommLossPermanent
+					m = SelectManeuver(current, s.ELAvailable)
+				}
+			}
+			if !emit(ev.T, m) {
+				return
+			}
+		}
+	}
+}
+
+// Decide is the synchronous form used by the simulator: it tracks one
+// failure state and applies the same escalation policy without goroutines.
+type Decide struct {
+	Switch     Switch
+	current    FailureKind
+	hoverSince float64
+	hovering   bool
+}
+
+// Step feeds one observation and returns the maneuver to fly.
+func (d *Decide) Step(t float64, failure FailureKind) Maneuver {
+	if failure != d.current {
+		d.current = failure
+		d.hovering = false
+	}
+	m := SelectManeuver(d.current, d.Switch.ELAvailable)
+	if m == Hover {
+		timeout := d.Switch.HoverTimeoutS
+		if timeout <= 0 {
+			timeout = 30
+		}
+		if !d.hovering {
+			d.hovering = true
+			d.hoverSince = t
+		}
+		if t-d.hoverSince >= timeout {
+			d.current = CommLossPermanent
+			m = SelectManeuver(d.current, d.Switch.ELAvailable)
+		}
+	} else {
+		d.hovering = false
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package uav
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideStateMachine(t *testing.T) {
+	d := &Decide{Switch: Switch{ELAvailable: true, HoverTimeoutS: 10}}
+	if m := d.Step(0, NoFailure); m != ContinueMission {
+		t.Fatalf("nominal step = %v", m)
+	}
+	// Temporary loss: hover, then recovery resumes the mission.
+	if m := d.Step(1, CommLossTemporary); m != Hover {
+		t.Fatalf("temporary loss = %v", m)
+	}
+	if m := d.Step(5, NoFailure); m != ContinueMission {
+		t.Fatalf("recovery = %v", m)
+	}
+	// A second temporary loss restarts the hover timer from scratch.
+	if m := d.Step(20, CommLossTemporary); m != Hover {
+		t.Fatalf("second loss = %v", m)
+	}
+	if m := d.Step(25, CommLossTemporary); m != Hover {
+		t.Fatalf("within timeout = %v", m)
+	}
+	if m := d.Step(31, CommLossTemporary); m != ReturnToBase {
+		t.Fatalf("past timeout should escalate to RB, got %v", m)
+	}
+}
+
+func TestDecideHoverTimerResetOnNewFailure(t *testing.T) {
+	d := &Decide{Switch: Switch{ELAvailable: true, HoverTimeoutS: 10}}
+	d.Step(0, CommLossTemporary)
+	d.Step(8, CommLossTemporary)
+	// Failure kind changes: navigation loss overrides hover immediately.
+	if m := d.Step(9, NavigationLoss); m != EmergencyLanding {
+		t.Fatalf("navigation loss during hover = %v", m)
+	}
+}
+
+func TestDecideDefaultTimeout(t *testing.T) {
+	d := &Decide{Switch: Switch{ELAvailable: false}} // zero timeout → 30 s default
+	d.Step(0, CommLossTemporary)
+	if m := d.Step(29, CommLossTemporary); m != Hover {
+		t.Fatalf("before default timeout = %v", m)
+	}
+	if m := d.Step(30, CommLossTemporary); m != ReturnToBase {
+		t.Fatalf("default timeout escalation = %v", m)
+	}
+}
+
+// TestSelectManeuverTotalAndOrdered property-checks that every failure kind
+// yields a defined maneuver and that removing EL availability never yields a
+// *less* severe response.
+func TestSelectManeuverTotalAndOrdered(t *testing.T) {
+	property := func(kRaw uint8, el bool) bool {
+		k := FailureKind(int(kRaw) % (int(FlightControlFault) + 1))
+		m := SelectManeuver(k, el)
+		if m < ContinueMission || m > FlightTermination {
+			return false
+		}
+		withEL := SelectManeuver(k, true)
+		withoutEL := SelectManeuver(k, false)
+		return withoutEL >= withEL
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchRunRecoveryEmitsContinue(t *testing.T) {
+	ctx := context.Background()
+	events := make(chan HealthEvent, 4)
+	decisions := make(chan Decision, 4)
+	sw := &Switch{ELAvailable: true, HoverTimeoutS: 100}
+	events <- HealthEvent{T: 0, Failure: CommLossTemporary}
+	events <- HealthEvent{T: 5, Failure: NoFailure}
+	close(events)
+	sw.Run(ctx, events, decisions)
+	var got []Maneuver
+	for d := range decisions {
+		got = append(got, d.Maneuver)
+	}
+	if len(got) != 2 || got[0] != Hover || got[1] != ContinueMission {
+		t.Fatalf("decisions = %v, want [Hover ContinueMission]", got)
+	}
+}
+
+func TestSwitchRunNoELFallsToFT(t *testing.T) {
+	events := make(chan HealthEvent, 2)
+	decisions := make(chan Decision, 2)
+	events <- HealthEvent{T: 0, Failure: NavigationLoss}
+	close(events)
+	(&Switch{ELAvailable: false}).Run(context.Background(), events, decisions)
+	d, ok := <-decisions
+	if !ok || d.Maneuver != FlightTermination {
+		t.Fatalf("decision = %+v ok=%v, want FT", d, ok)
+	}
+}

@@ -1,0 +1,181 @@
+// Package urban procedurally generates labeled urban aerial scenes: road
+// networks, buildings, parks, vehicles and pedestrians, rendered to RGB
+// images with dense 8-class UAVid-style ground truth, a height field and a
+// population density model.
+//
+// It substitutes for the UAVid dataset used by the paper: it provides
+// in-distribution imagery to train the segmentation model on, and controlled
+// out-of-distribution variants (sunset lighting, altitude change, fog) that
+// reproduce the paper's Figure 4b distribution-shift experiment with exact
+// pixel ground truth.
+package urban
+
+import "safeland/internal/imaging"
+
+// Lighting selects the global illumination model of a rendered scene.
+type Lighting int
+
+// Lighting conditions. Day is the in-distribution default; Sunset is the
+// paper's Figure 4b out-of-distribution condition ("taken at sunset,
+// involving complex lighting conditions").
+const (
+	Day Lighting = iota
+	Sunset
+	Overcast
+	Night
+)
+
+// String returns the lowercase name of the lighting condition.
+func (l Lighting) String() string {
+	switch l {
+	case Day:
+		return "day"
+	case Sunset:
+		return "sunset"
+	case Overcast:
+		return "overcast"
+	case Night:
+		return "night"
+	default:
+		return "lighting(?)"
+	}
+}
+
+// Season selects the vegetation appearance of a rendered scene.
+type Season int
+
+// Seasons. Summer is the in-distribution default.
+const (
+	Summer Season = iota
+	Autumn
+	Winter
+)
+
+// String returns the lowercase name of the season.
+func (s Season) String() string {
+	switch s {
+	case Summer:
+		return "summer"
+	case Autumn:
+		return "autumn"
+	case Winter:
+		return "winter"
+	default:
+		return "season(?)"
+	}
+}
+
+// Conditions describes the external conditions a scene is captured under.
+// Table III requires EL to be "effective under the conditions of the
+// operation (specific city, flight altitude, time of the day, season)";
+// Conditions parameterizes exactly those axes.
+type Conditions struct {
+	Lighting Lighting
+	Season   Season
+	// FogDensity in [0, 1] blends the image toward haze.
+	FogDensity float64
+	// SensorNoise is the std of additive Gaussian pixel noise.
+	SensorNoise float64
+	// AltitudeM is the capture altitude in meters; it determines the ground
+	// sampling distance together with the camera model.
+	AltitudeM float64
+	// TimeOfDay in hours [0, 24) drives traffic and population density.
+	TimeOfDay float64
+}
+
+// DefaultConditions returns the nominal in-distribution capture conditions:
+// daytime summer at the MEDI DELIVERY cruise altitude of 120 m.
+func DefaultConditions() Conditions {
+	return Conditions{
+		Lighting:    Day,
+		Season:      Summer,
+		FogDensity:  0,
+		SensorNoise: 0.015,
+		AltitudeM:   120,
+		TimeOfDay:   14,
+	}
+}
+
+// SunsetConditions returns the paper's out-of-distribution condition of
+// Figure 4b: sunset lighting at a different (higher) altitude.
+func SunsetConditions() Conditions {
+	c := DefaultConditions()
+	c.Lighting = Sunset
+	c.AltitudeM = 170
+	c.TimeOfDay = 20.5
+	c.SensorNoise = 0.03
+	return c
+}
+
+// GroundSamplingDistance returns the meters-per-pixel of a nadir camera with
+// the reference focal configuration at the given altitude. At 120 m the GSD
+// is 0.5 m/px, scaling linearly with altitude.
+func GroundSamplingDistance(altitudeM float64) float64 {
+	const refAltitude, refGSD = 120.0, 0.5
+	if altitudeM <= 0 {
+		return refGSD
+	}
+	return refGSD * altitudeM / refAltitude
+}
+
+// lightingParams holds the render-time transform of a lighting condition.
+type lightingParams struct {
+	tint           imaging.RGB
+	gain           float32
+	desaturate     float32 // 0 = none, 1 = grayscale
+	flatten        float32 // contrast reduction toward mid-gray
+	haze           imaging.RGB
+	hazeAmount     float32
+	shadowStrength float32
+	shadowLenPx    int // max shadow length at 0.5 m/px GSD
+	shadowDirX     int
+	shadowDirY     int
+}
+
+func (l Lighting) params() lightingParams {
+	switch l {
+	case Sunset:
+		return lightingParams{
+			tint:           imaging.RGB{R: 1.20, G: 0.78, B: 0.52},
+			gain:           0.62,
+			desaturate:     0.10,
+			flatten:        0.30,
+			haze:           imaging.RGB{R: 0.95, G: 0.55, B: 0.30},
+			hazeAmount:     0.22,
+			shadowStrength: 0.55,
+			shadowLenPx:    24,
+			shadowDirX:     1,
+			shadowDirY:     1,
+		}
+	case Overcast:
+		return lightingParams{
+			tint:       imaging.RGB{R: 0.92, G: 0.96, B: 1.02},
+			gain:       0.80,
+			desaturate: 0.35,
+			flatten:    0.20,
+			haze:       imaging.RGB{R: 0.8, G: 0.8, B: 0.85},
+			hazeAmount: 0.10,
+			// diffuse light: no cast shadows
+		}
+	case Night:
+		return lightingParams{
+			tint:           imaging.RGB{R: 0.55, G: 0.62, B: 0.95},
+			gain:           0.22,
+			desaturate:     0.45,
+			flatten:        0.15,
+			shadowStrength: 0.2,
+			shadowLenPx:    4,
+			shadowDirX:     1,
+			shadowDirY:     0,
+		}
+	default: // Day
+		return lightingParams{
+			tint:           imaging.RGB{R: 1.02, G: 1.0, B: 0.96},
+			gain:           1.0,
+			shadowStrength: 0.28,
+			shadowLenPx:    6,
+			shadowDirX:     1,
+			shadowDirY:     1,
+		}
+	}
+}

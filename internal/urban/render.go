@@ -1,0 +1,116 @@
+package urban
+
+import (
+	"math"
+	"math/rand"
+
+	"safeland/internal/imaging"
+)
+
+func sqrt64(v float64) float64 { return math.Sqrt(v) }
+func exp64(v float64) float64  { return math.Exp(v) }
+
+// textureParams returns per-class procedural texture amplitude and feature
+// frequency (features per meter).
+func textureParams(c imaging.Class) (amp float32, freq float64, octaves int) {
+	switch c {
+	case imaging.Road:
+		return 0.10, 1.4, 2
+	case imaging.Building:
+		return 0.16, 0.35, 3
+	case imaging.Tree:
+		return 0.34, 0.9, 3
+	case imaging.LowVegetation:
+		return 0.26, 0.6, 3
+	case imaging.StaticCar, imaging.MovingCar:
+		return 0.08, 2.0, 1
+	case imaging.Humans:
+		return 0.05, 3.0, 1
+	default: // clutter: pavement, soil
+		return 0.14, 0.5, 3
+	}
+}
+
+// renderScene converts the painted base rasters into a final RGB image under
+// the given capture conditions: procedural per-class texture, cast shadows
+// from the height field, lighting transform, haze/fog and sensor noise.
+func renderScene(labels *imaging.LabelMap, base *imaging.Image, height *imaging.Map,
+	mpp float64, cond Conditions, seed int64) *imaging.Image {
+
+	w, h := labels.W, labels.H
+	out := imaging.NewImage(w, h)
+	tex := imaging.NewNoise(seed ^ 0x7ea7)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	lp := cond.Lighting.params()
+
+	shadowLen := 0
+	if lp.shadowLenPx > 0 {
+		shadowLen = int(float64(lp.shadowLenPx) * 0.5 / mpp)
+		if shadowLen < 1 {
+			shadowLen = 1
+		}
+	}
+	// Shadow slope: a neighbor at horizontal distance d (meters) casts a
+	// shadow here when it is taller than d·slope above this pixel.
+	shadowSlope := 1.8
+	if cond.Lighting == Sunset {
+		shadowSlope = 0.45
+	}
+
+	fogColor := imaging.RGB{R: 0.84, G: 0.85, B: 0.88}
+	mid := imaging.RGB{R: 0.45, G: 0.45, B: 0.45}
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := base.At(x, y)
+			cls := labels.At(x, y)
+
+			// Procedural texture modulates the base albedo.
+			amp, freq, oct := textureParams(cls)
+			n := tex.FBM(float64(x)*mpp, float64(y)*mpp, freq, oct)
+			c = c.Scale(1 + amp*(2*n-1))
+
+			// Cast shadows: walk toward the sun and look for taller
+			// occluders.
+			if shadowLen > 0 && lp.shadowStrength > 0 {
+				hHere := float64(height.At(x, y))
+				for k := 1; k <= shadowLen; k++ {
+					sx, sy := x+lp.shadowDirX*k, y+lp.shadowDirY*k
+					if sx < 0 || sy < 0 || sx >= w || sy >= h {
+						break
+					}
+					if float64(height.At(sx, sy))-hHere > float64(k)*mpp*shadowSlope {
+						c = c.Scale(1 - lp.shadowStrength)
+						break
+					}
+				}
+			}
+
+			// Lighting transform.
+			if lp.desaturate > 0 {
+				l := c.Luma()
+				c = c.Lerp(imaging.RGB{R: l, G: l, B: l}, lp.desaturate)
+			}
+			if lp.flatten > 0 {
+				c = c.Lerp(mid, lp.flatten)
+			}
+			c = imaging.RGB{R: c.R * lp.tint.R, G: c.G * lp.tint.G, B: c.B * lp.tint.B}.Scale(lp.gain)
+			if lp.hazeAmount > 0 {
+				c = c.Lerp(lp.haze, lp.hazeAmount)
+			}
+			if cond.FogDensity > 0 {
+				c = c.Lerp(fogColor, float32(cond.FogDensity))
+			}
+
+			// Sensor noise.
+			if cond.SensorNoise > 0 {
+				s := float32(cond.SensorNoise)
+				c.R += float32(rng.NormFloat64()) * s
+				c.G += float32(rng.NormFloat64()) * s
+				c.B += float32(rng.NormFloat64()) * s
+			}
+			out.Set(x, y, c.Clamp())
+		}
+	}
+	return out
+}

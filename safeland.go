@@ -1,0 +1,151 @@
+// Package safeland is a Go reproduction of "Certifying Emergency Landing
+// for Safe Urban UAV" (Guerin, Delmas, Guiochet — DSN 2021): a certifiable
+// Emergency Landing (EL) function for urban UAVs built from semantic
+// segmentation, a Bayesian runtime monitor, a decision module, a SORA v2.0
+// assessment engine, and the simulation substrates needed to evaluate all
+// of it (procedural urban scenes, flight dynamics, casualty model).
+//
+// This root package is the high-level facade: build or load a trained
+// System, ask it for landing zones, fly simulated missions, and produce the
+// SORA certification argument. The building blocks live in internal/
+// packages and are exercised by the examples/ programs, the cmd/ tools and
+// the experiment suite (cmd/elbench).
+package safeland
+
+import (
+	"fmt"
+	"io"
+
+	"safeland/internal/core"
+	"safeland/internal/imaging"
+	"safeland/internal/segment"
+	"safeland/internal/sora"
+	"safeland/internal/uav"
+	"safeland/internal/urban"
+)
+
+// Options configures NewSystem.
+type Options struct {
+	// Seed drives every stochastic component; identical options produce an
+	// identical system.
+	Seed int64
+	// TrainScenes is the number of procedural scenes to train on.
+	TrainScenes int
+	// TrainSteps is the number of SGD steps.
+	TrainSteps int
+	// SceneSize is the generated scene side in pixels.
+	SceneSize int
+	// MCSamples is the Bayesian monitor sample count (paper: 10).
+	MCSamples int
+	// Progress, when non-nil, receives training progress lines.
+	Progress io.Writer
+}
+
+// DefaultOptions returns the full-scale settings used by the tools.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        2021,
+		TrainScenes: 6,
+		TrainSteps:  800,
+		SceneSize:   192,
+		MCSamples:   10,
+	}
+}
+
+// System is a ready-to-fly emergency landing stack: the trained perception
+// model wrapped in the Figure 2 safety architecture, plus the vehicle it is
+// sized for.
+type System struct {
+	Pipeline *core.Pipeline
+	Spec     uav.Spec
+}
+
+// NewSystem generates training data, trains the segmentation model, and
+// assembles the monitored landing pipeline.
+func NewSystem(opts Options) *System {
+	if opts.TrainScenes <= 0 || opts.TrainSteps <= 0 || opts.SceneSize <= 0 {
+		o := DefaultOptions()
+		if opts.TrainScenes <= 0 {
+			opts.TrainScenes = o.TrainScenes
+		}
+		if opts.TrainSteps <= 0 {
+			opts.TrainSteps = o.TrainSteps
+		}
+		if opts.SceneSize <= 0 {
+			opts.SceneSize = o.SceneSize
+		}
+	}
+	if opts.MCSamples <= 0 {
+		opts.MCSamples = DefaultOptions().MCSamples
+	}
+	ucfg := urban.DefaultConfig()
+	ucfg.W, ucfg.H = opts.SceneSize, opts.SceneSize
+	scenes := urban.GenerateSet(ucfg, urban.DefaultConditions(), opts.TrainScenes, opts.Seed)
+
+	mcfg := segment.DefaultConfig()
+	mcfg.Seed = opts.Seed
+	model := segment.New(mcfg)
+	tcfg := segment.DefaultTrainConfig()
+	tcfg.Steps = opts.TrainSteps
+	tcfg.Seed = opts.Seed + 1
+	tcfg.Log = opts.Progress
+	segment.Train(model, scenes, tcfg)
+
+	pipe := core.NewPipeline(model, opts.Seed+2)
+	pipe.Monitor.Samples = opts.MCSamples
+	return &System{Pipeline: pipe, Spec: uav.MediDelivery()}
+}
+
+// Load reads a previously saved model checkpoint and assembles the system
+// around it.
+func Load(path string, seed int64) (*System, error) {
+	model, err := segment.Load(path, segment.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("safeland: loading system: %w", err)
+	}
+	return &System{Pipeline: core.NewPipeline(model, seed), Spec: uav.MediDelivery()}, nil
+}
+
+// Save writes the trained model checkpoint to path.
+func (s *System) Save(path string) error {
+	if err := s.Pipeline.Model.Save(path); err != nil {
+		return fmt.Errorf("safeland: saving system: %w", err)
+	}
+	return nil
+}
+
+// SelectLandingZone runs the full Figure 2 pipeline on one on-board image:
+// segmentation, zone proposal, Bayesian verification and the decision
+// module. mpp is the ground sampling distance in meters per pixel.
+func (s *System) SelectLandingZone(img *imaging.Image, mpp float64) core.Result {
+	return s.Pipeline.SelectAndVerify(img, mpp)
+}
+
+// PlanLanding implements uav.LandingPlanner so the system can be dropped
+// into the mission simulator's safety switch.
+func (s *System) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
+	return s.Pipeline.PlanLanding(scene, xM, yM)
+}
+
+// Certify runs the SORA v2.0 assessment for the MEDI DELIVERY operation
+// with this system claimed as an active-M1 mitigation under the given
+// validation claims, alongside a Medium-robustness emergency response plan.
+func (s *System) Certify(claims core.Claims) sora.Assessment {
+	op := Operation(s.Spec)
+	op.Mitigations = []sora.Mitigation{
+		{Type: sora.M3, Integrity: sora.Medium, Assurance: sora.Medium},
+		core.MitigationClaim(claims),
+	}
+	return sora.Assess(op)
+}
+
+// Operation builds the paper's MEDI DELIVERY SORA operation for a vehicle.
+func Operation(spec uav.Spec) sora.Operation {
+	return sora.Operation{
+		Name:           spec.Name,
+		SpanM:          spec.SpanM,
+		KineticEnergyJ: uav.BallisticImpactEnergy(spec.MTOWKg, spec.CruiseAltM),
+		Scenario:       sora.BVLOSPopulated,
+		Airspace:       sora.Airspace{MaxHeightFt: spec.CruiseAltM * 3.28084, Urban: true},
+	}
+}
