@@ -1,0 +1,33 @@
+# Developer workflow for the safeland reproduction.
+#
+#   make check   # tier-1 gate + race detector over the concurrent paths
+#   make bench   # one pass over the experiment benchmarks (E1-E10 + Engine)
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The Engine serves requests concurrently over per-worker model replicas;
+# every change to those paths must survive the race detector. The race
+# instrumentation slows the training fixtures by an order of magnitude,
+# hence the generous timeout.
+race:
+	$(GO) test -race -timeout 120m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

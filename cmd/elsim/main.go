@@ -61,21 +61,36 @@ func run() int {
 	ucfg.W, ucfg.H = *size, *size
 	scene := urban.Generate(ucfg, urban.DefaultConditions(), *seed)
 
+	// The mission simulator calls the planner from a single goroutine, so
+	// one engine worker is enough; the Engine still owns the model replica,
+	// keeping the pipeline re-entrant for any embedding that probes it.
 	var planner uav.LandingPlanner
 	switch {
 	case *model != "":
-		sys, err := safeland.Load(*model, *seed)
+		eng, err := safeland.NewEngine(
+			safeland.WithCheckpoint(*model),
+			safeland.WithSeed(*seed),
+			safeland.WithWorkers(1),
+		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "elsim: %v\n", err)
 			return 1
 		}
-		planner = sys
+		planner = eng
 	case *train:
 		fmt.Fprintln(os.Stderr, "training EL model in-process...")
-		planner = safeland.NewSystem(safeland.Options{
-			Seed: *seed, TrainScenes: 4, TrainSteps: 400, SceneSize: *size, MCSamples: 10,
-			Progress: os.Stderr,
-		})
+		eng, err := safeland.NewEngine(
+			safeland.WithSeed(*seed),
+			safeland.WithTraining(4, 400, *size),
+			safeland.WithMonitorSamples(10),
+			safeland.WithProgress(os.Stderr),
+			safeland.WithWorkers(1),
+		)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elsim: %v\n", err)
+			return 1
+		}
+		planner = eng
 	}
 
 	spec := uav.MediDelivery()

@@ -1,6 +1,6 @@
 // Command eltrain trains the MSDnet segmentation model on procedurally
 // generated urban scenes and writes a checkpoint usable by elsim and the
-// safeland.Load facade.
+// safeland.WithCheckpoint engine option.
 //
 //	eltrain -out model.ckpt -steps 500 -scenes 6
 package main
@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"safeland"
 	"safeland/internal/segment"
 	"safeland/internal/urban"
 )
@@ -29,28 +30,26 @@ func run() int {
 	)
 	flag.Parse()
 
-	ucfg := urban.DefaultConfig()
-	ucfg.W, ucfg.H = *size, *size
-	fmt.Fprintf(os.Stderr, "generating %d training scenes (%dpx)...\n", *scenes, *size)
-	train := urban.GenerateSet(ucfg, urban.DefaultConditions(), *scenes, *seed)
-
-	mcfg := segment.DefaultConfig()
-	mcfg.Seed = *seed
-	model := segment.New(mcfg)
-	fmt.Fprintf(os.Stderr, "training MSDnet (%d parameters, %d steps)...\n", model.ParamCount(), *steps)
-	tcfg := segment.DefaultTrainConfig()
-	tcfg.Steps = *steps
-	tcfg.Seed = *seed + 1
-	tcfg.Log = os.Stderr
-	stats := segment.Train(model, train, tcfg)
-	fmt.Fprintf(os.Stderr, "loss %.3f -> %.3f\n", stats.FirstLoss, stats.FinalLoss)
+	fmt.Fprintf(os.Stderr, "training MSDnet on %d scenes (%dpx, %d steps)...\n", *scenes, *size, *steps)
+	eng, err := safeland.NewEngine(
+		safeland.WithSeed(*seed),
+		safeland.WithTraining(*scenes, *steps, *size),
+		safeland.WithProgress(os.Stderr),
+		safeland.WithWorkers(1),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eltrain: %v\n", err)
+		return 1
+	}
 
 	if *eval {
+		ucfg := urban.DefaultConfig()
+		ucfg.W, ucfg.H = *size, *size
 		test := urban.GenerateSet(ucfg, urban.DefaultConditions(), 2, *seed+1000)
-		conf := segment.Evaluate(model, test)
+		conf := segment.Evaluate(eng.System().Pipeline.Model, test)
 		fmt.Printf("held-out: %s\n", conf)
 	}
-	if err := model.Save(*out); err != nil {
+	if err := eng.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "eltrain: %v\n", err)
 		return 1
 	}

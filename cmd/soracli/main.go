@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"os"
 
+	"safeland"
 	"safeland/internal/sora"
-	"safeland/internal/uav"
 )
 
 func main() {
@@ -65,14 +65,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "soracli: unknown scenario %q\n", *scenario)
 		return 2
 	}
-	ke := uav.BallisticImpactEnergy(*mtow, *alt)
-	op := sora.Operation{
-		Name:           "custom operation",
-		SpanM:          *span,
-		KineticEnergyJ: ke,
-		Scenario:       sc,
-		Airspace:       sora.Airspace{MaxHeightFt: *alt * 3.28084, Urban: urbanScenario(sc)},
-	}
+	op := safeland.CustomOperation("custom operation", *span, *mtow, *alt, sc)
+	ke := op.KineticEnergyJ
 	for _, claim := range []struct {
 		flagV string
 		typ   sora.MitigationType
@@ -92,13 +86,4 @@ func run() int {
 	fmt.Printf("scenario : %s\n\n", sc)
 	fmt.Print(sora.Assess(op).Report(op.Name))
 	return 0
-}
-
-func urbanScenario(s sora.OperationalScenario) bool {
-	switch s {
-	case sora.VLOSPopulated, sora.BVLOSPopulated, sora.VLOSGathering, sora.BVLOSGathering:
-		return true
-	default:
-		return false
-	}
 }

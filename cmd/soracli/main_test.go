@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"safeland"
 	"safeland/internal/sora"
 )
 
@@ -44,10 +45,13 @@ func TestRobustnessByName(t *testing.T) {
 }
 
 func TestUrbanScenario(t *testing.T) {
-	if !urbanScenario(sora.BVLOSPopulated) || !urbanScenario(sora.VLOSGathering) {
+	urban := func(sc sora.OperationalScenario) bool {
+		return safeland.CustomOperation("t", 1, 7, 120, sc).Airspace.Urban
+	}
+	if !urban(sora.BVLOSPopulated) || !urban(sora.VLOSGathering) {
 		t.Error("populated scenarios should be urban")
 	}
-	if urbanScenario(sora.VLOSSparse) || urbanScenario(sora.ControlledGround) {
+	if urban(sora.VLOSSparse) || urban(sora.ControlledGround) {
 		t.Error("sparse scenarios should not be urban")
 	}
 }

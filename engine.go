@@ -1,0 +1,353 @@
+package safeland
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"safeland/internal/core"
+	"safeland/internal/imaging"
+	"safeland/internal/sora"
+	"safeland/internal/urban"
+)
+
+// SelectRequest describes one landing-zone selection over an on-board
+// frame. The zero value is invalid: a request needs either an Image with a
+// positive MPP, or a Scene (from which both default).
+type SelectRequest struct {
+	// Image is the on-board frame to select a zone in.
+	Image *imaging.Image
+	// MPP is the ground sampling distance in meters per pixel.
+	MPP float64
+	// Scene optionally attaches the full simulated scene. Backends that
+	// fuse a-priori data (HybridSelector) or read height fields and ground
+	// truth (BaselineSelector) require it; when set, Image and MPP default
+	// from it.
+	Scene *urban.Scene
+	// HomeX, HomeY bias candidate ranking toward this position in meters
+	// (both zero disables the bias), mirroring ZoneConfig.HomeX/HomeY.
+	HomeX, HomeY float64
+	// Deadline, when nonzero, bounds how long this one request may wait
+	// for a worker, in addition to the context passed to the Engine call.
+	// A request that reaches a worker before the deadline runs to
+	// completion: the perception pipeline is monolithic, and a landing
+	// decision already in progress is worth finishing.
+	Deadline time.Time
+}
+
+// SelectResponse wraps one selection outcome with trace metadata.
+type SelectResponse struct {
+	// Result is the pipeline outcome; meaningful only when Err is nil.
+	Result core.Result
+	// Index is the request's position: its slice index in SelectBatch, its
+	// arrival order in Serve, and 0 for a single Select.
+	Index int
+	// Selector names the backend that served (or would have served) the
+	// request.
+	Selector string
+	// Queued is how long the request waited for a free worker.
+	Queued time.Duration
+	// Elapsed is the backend's processing time, excluding queueing.
+	Elapsed time.Duration
+	// Err is non-nil when the request was cancelled, timed out while
+	// queued, or was rejected by the backend (e.g. a malformed request).
+	Err error
+}
+
+// engineConfig collects the functional options.
+type engineConfig struct {
+	train      Options
+	samples    int // 0 = keep the system's monitor setting
+	system     *System
+	checkpoint string
+	factory    SelectorFactory
+	workers    int
+}
+
+// Option configures NewEngine.
+type Option func(*engineConfig)
+
+// WithSeed sets the seed driving training and the Monte-Carlo monitor.
+func WithSeed(seed int64) Option {
+	return func(c *engineConfig) { c.train.Seed = seed }
+}
+
+// WithMonitorSamples sets the Bayesian monitor's Monte-Carlo sample count
+// (the paper uses 10). It applies to every worker replica, including ones
+// built around a loaded checkpoint or an adopted System.
+func WithMonitorSamples(n int) Option {
+	return func(c *engineConfig) { c.samples = n; c.train.MCSamples = n }
+}
+
+// WithTraining sets the in-process training scale used when neither
+// WithSystem nor WithCheckpoint supplies a trained model.
+func WithTraining(scenes, steps, sceneSizePx int) Option {
+	return func(c *engineConfig) {
+		c.train.TrainScenes = scenes
+		c.train.TrainSteps = steps
+		c.train.SceneSize = sceneSizePx
+	}
+}
+
+// WithProgress directs training progress lines to w.
+func WithProgress(w io.Writer) Option {
+	return func(c *engineConfig) { c.train.Progress = w }
+}
+
+// WithSystem adopts an already-trained System as the engine's source
+// model. The system itself is never used to serve requests — every worker
+// gets an independent replica — so the caller keeps exclusive use of it.
+func WithSystem(sys *System) Option {
+	return func(c *engineConfig) { c.system = sys }
+}
+
+// WithCheckpoint loads the model from a checkpoint written by Save or
+// cmd/eltrain instead of training in-process.
+func WithCheckpoint(path string) Option {
+	return func(c *engineConfig) { c.checkpoint = path }
+}
+
+// WithSelector chooses the selection backend. The default is
+// PipelineSelector (the paper's monitored Figure 2 pipeline); see
+// HybridSelector and BaselineSelector for the alternatives.
+func WithSelector(f SelectorFactory) Option {
+	return func(c *engineConfig) { c.factory = f }
+}
+
+// WithWorkers sets the worker-pool size — the number of requests verified
+// in parallel. Values below 1 are clamped to 1. The default is
+// DefaultWorkers.
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) { c.workers = n }
+}
+
+// DefaultWorkers is the worker-pool size NewEngine uses when WithWorkers
+// is not given: one worker per CPU, capped at 4 because the perception
+// forward passes are internally parallel and oversubscribing them degrades
+// batch latency.
+func DefaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Engine is the concurrent request/response front end for landing-zone
+// selection: a pool of worker-private System replicas behind one pluggable
+// Selector backend. Construct it with NewEngine; all methods are safe for
+// concurrent use.
+//
+// The Engine exists because the perception stack is deliberately not
+// re-entrant (forward passes cache per-layer state, Monte-Carlo dropout
+// keeps per-layer RNGs): instead of locking the hot path, each worker owns
+// a full replica, and the monitor's per-call reseeding keeps verdicts
+// byte-identical to a sequential run regardless of scheduling.
+type Engine struct {
+	sys      *System
+	workers  int
+	selector string
+	replicas chan Selector
+}
+
+// NewEngine builds an engine. The model comes from, in order of
+// preference: WithSystem, WithCheckpoint, or in-process training with the
+// WithSeed/WithTraining/WithMonitorSamples scale (the DefaultOptions scale
+// when unset).
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := engineConfig{train: DefaultOptions(), factory: PipelineSelector(), workers: DefaultWorkers()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.factory == nil {
+		cfg.factory = PipelineSelector()
+	}
+
+	sys := cfg.system
+	switch {
+	case sys != nil:
+	case cfg.checkpoint != "":
+		var err error
+		if sys, err = Load(cfg.checkpoint, cfg.train.Seed); err != nil {
+			return nil, err
+		}
+	default:
+		sys = NewSystem(cfg.train)
+	}
+
+	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers)}
+	for i := 0; i < cfg.workers; i++ {
+		rep, err := sys.Replica()
+		if err != nil {
+			return nil, fmt.Errorf("safeland: building worker %d: %w", i, err)
+		}
+		if cfg.samples > 0 {
+			rep.Pipeline.Monitor.Samples = cfg.samples
+		}
+		sel, err := cfg.factory(rep)
+		if err != nil {
+			return nil, fmt.Errorf("safeland: building worker %d: %w", i, err)
+		}
+		if i == 0 {
+			e.selector = sel.Name()
+		}
+		e.replicas <- sel
+	}
+	return e, nil
+}
+
+// System returns the engine's source system (model, monitor, vehicle
+// spec). It is not used to serve requests, so the caller may inspect or
+// even run it while the engine serves traffic.
+func (e *Engine) System() *System { return e.sys }
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// SelectorName returns the name of the configured backend.
+func (e *Engine) SelectorName() string { return e.selector }
+
+// Save writes the engine's model checkpoint to path.
+func (e *Engine) Save(path string) error { return e.sys.Save(path) }
+
+// Certify runs the SORA v2.0 assessment for this engine's vehicle with the
+// emergency-landing function claimed under the given validation claims.
+func (e *Engine) Certify(claims core.Claims) sora.Assessment {
+	return Certify(e.sys.Spec, claims)
+}
+
+// Select serves one request synchronously: it waits for a free worker
+// (honoring ctx and the request deadline while queued) and runs the
+// backend on it.
+func (e *Engine) Select(ctx context.Context, req SelectRequest) SelectResponse {
+	return e.run(ctx, req, 0)
+}
+
+func (e *Engine) run(ctx context.Context, req SelectRequest, idx int) SelectResponse {
+	resp := SelectResponse{Index: idx, Selector: e.selector}
+	// The request deadline only bounds queueing, so it guards the wait
+	// but never reaches the backend: once a worker starts, the selection
+	// runs under the caller's context alone.
+	waitCtx := ctx
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
+	}
+	enqueued := time.Now()
+	select {
+	case <-waitCtx.Done():
+		resp.Queued = time.Since(enqueued)
+		resp.Err = waitCtx.Err()
+		return resp
+	case sel := <-e.replicas:
+		resp.Queued = time.Since(enqueued)
+		defer func() { e.replicas <- sel }()
+		if err := waitCtx.Err(); err != nil {
+			resp.Err = err
+			return resp
+		}
+		start := time.Now()
+		resp.Result, resp.Err = sel.Select(ctx, req)
+		resp.Elapsed = time.Since(start)
+		return resp
+	}
+}
+
+// SelectBatch serves a batch of requests across the worker pool and
+// returns when all are done. Response i always corresponds to request i,
+// whatever order the workers finished in. Requests cancelled while queued
+// carry ctx's error in their response; completed responses are kept even
+// when ctx is cancelled mid-batch.
+func (e *Engine) SelectBatch(ctx context.Context, reqs []SelectRequest) []SelectResponse {
+	out := make([]SelectResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = e.run(ctx, reqs[i], i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Serve turns the engine into a streaming service: it consumes requests
+// from in until in closes or ctx is cancelled, serving up to Workers of
+// them concurrently, and delivers responses on the returned channel, which
+// closes when the last in-flight request is done. Like SelectBatch, a
+// response whose work completed is always delivered, even when ctx is
+// cancelled concurrently — callers must drain the channel until it closes
+// (after cancellation at most Workers responses remain, so the drain is
+// short). Response order follows completion, not arrival; Index records
+// each request's arrival order, so callers can join responses back to the
+// frames they streamed.
+func (e *Engine) Serve(ctx context.Context, in <-chan SelectRequest) <-chan SelectResponse {
+	type taggedRequest struct {
+		req SelectRequest
+		idx int
+	}
+	// A single dispatcher tags arrival order before any worker competes
+	// for the request, so Index is exact even under concurrency.
+	tagged := make(chan taggedRequest)
+	go func() {
+		defer close(tagged)
+		for idx := 0; ; idx++ {
+			select {
+			case <-ctx.Done():
+				return
+			case req, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case tagged <- taggedRequest{req, idx}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	out := make(chan SelectResponse)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := range tagged {
+				// Unconditional send: a completed response is never
+				// dropped on cancellation; the dispatcher has already
+				// stopped feeding new work.
+				out <- e.run(ctx, tr.req, tr.idx)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// PlanLanding implements uav.LandingPlanner, so an Engine drops straight
+// into the mission simulator's safety switch: the request is built from
+// the scene under the vehicle with the current position as the home bias.
+func (e *Engine) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
+	resp := e.Select(context.Background(), SelectRequest{Scene: scene, HomeX: xM, HomeY: yM})
+	if resp.Err != nil || !resp.Result.Confirmed {
+		return 0, 0, false
+	}
+	txM, tyM := resp.Result.Zone.CenterM(scene.MPP)
+	return txM, tyM, true
+}

@@ -1,0 +1,389 @@
+package safeland
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safeland/internal/baseline"
+	"safeland/internal/core"
+	"safeland/internal/segment"
+	"safeland/internal/uav"
+	"safeland/internal/urban"
+)
+
+// stubSystem builds an untrained system: cheap enough for engine plumbing
+// tests that never run the perception stack.
+func stubSystem() *System {
+	return &System{Pipeline: core.NewPipeline(segment.New(segment.DefaultConfig()), 1), Spec: uav.MediDelivery()}
+}
+
+// stubSelector records calls and echoes the request's MPP back as the
+// candidate count, so tests can match responses to requests.
+type stubSelector struct {
+	calls *atomic.Int32
+	delay func(req SelectRequest) time.Duration
+}
+
+func (s *stubSelector) Name() string { return "stub" }
+
+func (s *stubSelector) Select(ctx context.Context, req SelectRequest) (core.Result, error) {
+	s.calls.Add(1)
+	if s.delay != nil {
+		select {
+		case <-time.After(s.delay(req)):
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		}
+	}
+	return core.Result{Confirmed: true, State: core.Landing, CandidateCount: int(req.MPP)}, nil
+}
+
+// stubFactory shares one call counter across all workers.
+func stubFactory(calls *atomic.Int32, delay func(SelectRequest) time.Duration) SelectorFactory {
+	return func(*System) (Selector, error) {
+		return &stubSelector{calls: calls, delay: delay}, nil
+	}
+}
+
+func TestEngineOptionDefaults(t *testing.T) {
+	cases := []struct {
+		name        string
+		opts        []Option
+		wantWorkers int
+		wantSel     string
+	}{
+		{"defaults", nil, DefaultWorkers(), "msdnet-monitor"},
+		{"workers clamped to one", []Option{WithWorkers(-3)}, 1, "msdnet-monitor"},
+		{"workers explicit", []Option{WithWorkers(6)}, 6, "msdnet-monitor"},
+		{"hybrid backend", []Option{WithWorkers(1), WithSelector(HybridSelector())}, 1, "hybrid-gis"},
+		{"baseline backend", []Option{WithWorkers(1), WithSelector(BaselineSelector(baseline.NewCanny()))},
+			1, "baseline-canny-edge-density"},
+		{"nil selector falls back", []Option{WithWorkers(1), WithSelector(nil)}, 1, "msdnet-monitor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewEngine(append([]Option{WithSystem(stubSystem())}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Workers() != tc.wantWorkers {
+				t.Errorf("workers = %d, want %d", eng.Workers(), tc.wantWorkers)
+			}
+			if eng.SelectorName() != tc.wantSel {
+				t.Errorf("selector = %q, want %q", eng.SelectorName(), tc.wantSel)
+			}
+		})
+	}
+}
+
+func TestEngineMonitorSamplesOverride(t *testing.T) {
+	sys := stubSystem()
+	sys.Pipeline.Monitor.Samples = 10
+	eng, err := NewEngine(WithSystem(sys), WithWorkers(1), WithMonitorSamples(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := <-eng.replicas
+	defer func() { eng.replicas <- sel }()
+	rep, ok := sel.(*pipelineSelector)
+	if !ok {
+		t.Fatalf("default selector is %T, want *pipelineSelector", sel)
+	}
+	if rep.pipe.Monitor.Samples != 3 {
+		t.Errorf("replica MC samples = %d, want 3", rep.pipe.Monitor.Samples)
+	}
+	if sys.Pipeline.Monitor.Samples != 10 {
+		t.Errorf("source system mutated: MC samples = %d, want 10", sys.Pipeline.Monitor.Samples)
+	}
+	if rep.pipe.Model == sys.Pipeline.Model {
+		t.Error("worker shares the source model; want a replica")
+	}
+}
+
+func TestEngineBatchOrderMatchesInput(t *testing.T) {
+	var calls atomic.Int32
+	// Earlier requests sleep longer, so completion order inverts input
+	// order; the response slice must still line up with the requests.
+	const n = 8
+	delay := func(req SelectRequest) time.Duration {
+		return time.Duration(n-int(req.MPP)) * 5 * time.Millisecond
+	}
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(4), WithSelector(stubFactory(&calls, delay)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]SelectRequest, n)
+	for i := range reqs {
+		reqs[i] = SelectRequest{MPP: float64(i + 1)}
+	}
+	resps := eng.SelectBatch(context.Background(), reqs)
+	if len(resps) != n {
+		t.Fatalf("got %d responses for %d requests", len(resps), n)
+	}
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("response %d: %v", i, resp.Err)
+		}
+		if resp.Index != i || resp.Result.CandidateCount != i+1 {
+			t.Errorf("response %d carries index %d / payload %d", i, resp.Index, resp.Result.CandidateCount)
+		}
+		if resp.Selector != "stub" {
+			t.Errorf("response %d selector = %q", i, resp.Selector)
+		}
+	}
+	if got := calls.Load(); got != n {
+		t.Errorf("backend ran %d times, want %d", got, n)
+	}
+}
+
+// cancelSelector confirms its first request and cancels the batch context
+// from inside it, so every later request observes a dead context.
+type cancelSelector struct {
+	cancel context.CancelFunc
+	calls  atomic.Int32
+}
+
+func (s *cancelSelector) Name() string { return "cancel-stub" }
+
+func (s *cancelSelector) Select(ctx context.Context, _ SelectRequest) (core.Result, error) {
+	if s.calls.Add(1) == 1 {
+		s.cancel()
+		return core.Result{Confirmed: true, State: core.Landing}, nil
+	}
+	return core.Result{}, ctx.Err()
+}
+
+func TestEngineContextCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sel := &cancelSelector{cancel: cancel}
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(1),
+		WithSelector(func(*System) (Selector, error) { return sel, nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := eng.SelectBatch(ctx, make([]SelectRequest, 6))
+	var ok, cancelled int
+	for _, resp := range resps {
+		switch resp.Err {
+		case nil:
+			ok++
+		case context.Canceled:
+			cancelled++
+		default:
+			t.Errorf("unexpected error: %v", resp.Err)
+		}
+	}
+	if ok != 1 || cancelled != 5 {
+		t.Errorf("got %d completed / %d cancelled, want 1 / 5", ok, cancelled)
+	}
+}
+
+func TestEngineRequestDeadline(t *testing.T) {
+	var calls atomic.Int32
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(1), WithSelector(stubFactory(&calls, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		req     SelectRequest
+		wantErr error
+	}{
+		{"expired deadline", SelectRequest{MPP: 1, Deadline: time.Now().Add(-time.Second)}, context.DeadlineExceeded},
+		{"no deadline", SelectRequest{MPP: 1}, nil},
+		{"future deadline", SelectRequest{MPP: 1, Deadline: time.Now().Add(time.Minute)}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := eng.Select(context.Background(), tc.req)
+			if resp.Err != tc.wantErr {
+				t.Errorf("err = %v, want %v", resp.Err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEngineServeStreams(t *testing.T) {
+	var calls atomic.Int32
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(3), WithSelector(stubFactory(&calls, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan SelectRequest)
+	out := eng.Serve(context.Background(), in)
+	const n = 7
+	go func() {
+		for i := 0; i < n; i++ {
+			in <- SelectRequest{MPP: float64(i + 1)}
+		}
+		close(in)
+	}()
+	seen := map[int]bool{}
+	for resp := range out {
+		if resp.Err != nil {
+			t.Fatalf("response error: %v", resp.Err)
+		}
+		if seen[resp.Index] {
+			t.Fatalf("index %d delivered twice", resp.Index)
+		}
+		seen[resp.Index] = true
+		// Index must record arrival order: the i-th streamed request
+		// carried MPP i+1, which the stub echoes back.
+		if resp.Result.CandidateCount != resp.Index+1 {
+			t.Errorf("index %d tagged onto request %d", resp.Index, resp.Result.CandidateCount-1)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d responses, want %d (indices %v)", len(seen), n, seen)
+	}
+}
+
+func TestEngineServeDeliversCompletedOnCancel(t *testing.T) {
+	var calls atomic.Int32
+	delay := func(SelectRequest) time.Duration { return 20 * time.Millisecond }
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(2), WithSelector(stubFactory(&calls, delay)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan SelectRequest)
+	out := eng.Serve(ctx, in)
+	go func() {
+		defer close(in)
+		for i := 0; ; i++ {
+			select {
+			case in <- SelectRequest{MPP: float64(i + 1)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	first, ok := <-out
+	if !ok || first.Err != nil {
+		t.Fatalf("first response: ok=%v err=%v", ok, first.Err)
+	}
+	cancel()
+	// The channel must still close, delivering every dequeued request's
+	// response on the way; go test's timeout guards against a hang.
+	for range out {
+	}
+}
+
+func TestEngineSelectorInterchangeability(t *testing.T) {
+	sys := quickSystem(t)
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+	scene := urban.Generate(cfg, urban.DefaultConditions(), 64)
+
+	cases := []struct {
+		name     string
+		factory  SelectorFactory
+		wantPred bool // monitored backends expose the segmentation
+	}{
+		{"pipeline", PipelineSelector(), true},
+		{"hybrid", HybridSelector(), true},
+		{"baseline canny", BaselineSelector(baseline.NewCanny()), false},
+		{"baseline flatness", BaselineSelector(baseline.Flatness{}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewEngine(WithSystem(sys), WithWorkers(1), WithSelector(tc.factory))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp := eng.Select(context.Background(), SelectRequest{Scene: scene})
+			if resp.Err != nil {
+				t.Fatalf("select: %v", resp.Err)
+			}
+			res := resp.Result
+			if tc.wantPred != (res.Pred != nil) {
+				t.Errorf("prediction attached = %v, want %v", res.Pred != nil, tc.wantPred)
+			}
+			if res.Confirmed {
+				z := res.Zone
+				if z.SizePx <= 0 || z.X0 < 0 || z.Y0 < 0 ||
+					z.X0+z.SizePx > scene.Image.W || z.Y0+z.SizePx > scene.Image.H {
+					t.Errorf("confirmed zone out of bounds: %+v", z)
+				}
+			} else if res.State != core.Aborted {
+				t.Errorf("unconfirmed result in state %v, want aborted", res.State)
+			}
+		})
+	}
+
+	t.Run("scene-requiring backends reject frame-only requests", func(t *testing.T) {
+		for _, factory := range []SelectorFactory{HybridSelector(), BaselineSelector(baseline.NewCanny())} {
+			eng, err := NewEngine(WithSystem(sys), WithWorkers(1), WithSelector(factory))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp := eng.Select(context.Background(), SelectRequest{Image: scene.Image, MPP: scene.MPP})
+			if resp.Err == nil {
+				t.Errorf("%s accepted a request without a scene", eng.SelectorName())
+			}
+		}
+	})
+}
+
+// TestEngineBatchMatchesSequential is the API-redesign acceptance check:
+// a concurrent batch over 4 workers must reproduce the sequential facade
+// bit for bit, scene by scene.
+func TestEngineBatchMatchesSequential(t *testing.T) {
+	sys := quickSystem(t)
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+
+	const n = 8
+	reqs := make([]SelectRequest, n)
+	seq := make([]core.Result, n)
+	for i := 0; i < n; i++ {
+		scene := urban.Generate(cfg, urban.DefaultConditions(), 100+int64(i))
+		reqs[i] = SelectRequest{Image: scene.Image, MPP: scene.MPP}
+		seq[i] = sys.SelectLandingZone(scene.Image, scene.MPP)
+	}
+
+	eng, err := NewEngine(WithSystem(sys), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := eng.SelectBatch(context.Background(), reqs)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("scene %d: %v", i, resp.Err)
+		}
+		if !reflect.DeepEqual(resp.Result, seq[i]) {
+			t.Errorf("scene %d diverged from sequential run:\n  batch: %s\n  seq  : %s",
+				i, describeForDiff(resp.Result), describeForDiff(seq[i]))
+		}
+	}
+}
+
+func describeForDiff(r core.Result) string {
+	return fmt.Sprintf("%s (state %v, candidates %d, buffer %.1f m)",
+		r.Describe(), r.State, r.CandidateCount, r.UsedBufferM)
+}
+
+func TestSystemReplicaIsIndependentAndIdentical(t *testing.T) {
+	sys := quickSystem(t)
+	rep, err := sys.Replica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pipeline.Model == sys.Pipeline.Model || rep.Pipeline.Monitor == sys.Pipeline.Monitor {
+		t.Fatal("replica shares perception state with the original")
+	}
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+	scene := urban.Generate(cfg, urban.DefaultConditions(), 77)
+	a := sys.Pipeline.Model.Predict(scene.Image)
+	b := rep.Pipeline.Model.Predict(scene.Image)
+	if !reflect.DeepEqual(a.Pix, b.Pix) {
+		t.Error("replica predicts differently from the original")
+	}
+}

@@ -46,8 +46,10 @@ func main() {
 	fmt.Printf("   integrity %s, assurance %s -> robustness %s\n", integ, assur, elMit.Robustness())
 
 	fmt.Println("\n3) SORA with EL accepted as an active-M1 mitigation:")
-	op.Mitigations = append(op.Mitigations, elMit)
-	fmt.Print(sora.Assess(op).Report("M3 medium + EL (active-M1)"))
+	// safeland.Certify bundles the M3 medium emergency response plan with
+	// the EL claim — the same assessment Engine.Certify runs for a trained
+	// engine.
+	fmt.Print(safeland.Certify(spec, claims).Report("M3 medium + EL (active-M1)"))
 
 	fmt.Println("\nThe SAIL drop (V -> IV) shrinks the high-robustness OSO burden — the")
 	fmt.Println("certification relief the paper argues EL can provide.")

@@ -17,14 +17,21 @@ import (
 )
 
 func main() {
-	fmt.Fprintln(os.Stderr, "training the EL system...")
-	sys := safeland.NewSystem(safeland.Options{
-		Seed: 3, TrainScenes: 4, TrainSteps: 350, SceneSize: 192, MCSamples: 10,
-	})
+	fmt.Fprintln(os.Stderr, "training the EL engine...")
+	eng, err := safeland.NewEngine(
+		safeland.WithSeed(3),
+		safeland.WithTraining(4, 350, 192),
+		safeland.WithMonitorSamples(10),
+		safeland.WithWorkers(1), // the safety switch plans one landing at a time
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "medidelivery:", err)
+		os.Exit(1)
+	}
 
 	cfg := urban.DefaultConfig()
 	scene := urban.Generate(cfg, urban.DefaultConditions(), 777)
-	spec := sys.Spec
+	spec := eng.System().Spec
 	fmt.Printf("vehicle: %s — %.0f kg, %.0f m span, cruising at %.0f m\n",
 		spec.Name, spec.MTOWKg, spec.SpanM, spec.CruiseAltM)
 	fmt.Printf("ballistic impact energy if uncontrolled: %.2f kJ (paper: 8.23 kJ)\n\n",
@@ -57,6 +64,6 @@ func main() {
 		}
 	}
 
-	mission(sys, "with Emergency Landing (paper's proposal)")
+	mission(eng, "with Emergency Landing (paper's proposal)")
 	mission(nil, "without EL: flight termination from cruise altitude")
 }

@@ -18,11 +18,21 @@ import (
 
 func main() {
 	fmt.Fprintln(os.Stderr, "training...")
-	sys := safeland.NewSystem(safeland.Options{
-		Seed: 5, TrainScenes: 4, TrainSteps: 350, SceneSize: 160, MCSamples: 10,
-	})
-	model := sys.Pipeline.Model
-	bayes := sys.Pipeline.Monitor
+	eng, err := safeland.NewEngine(
+		safeland.WithSeed(5),
+		safeland.WithTraining(4, 350, 160),
+		safeland.WithMonitorSamples(10),
+		safeland.WithWorkers(1),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oodmonitor:", err)
+		os.Exit(1)
+	}
+	// This walkthrough probes the engine's building blocks directly — the
+	// deterministic model and its Bayesian wrapper — which the facade
+	// exposes through the source system.
+	model := eng.System().Pipeline.Model
+	bayes := eng.System().Pipeline.Monitor
 
 	cfg := urban.DefaultConfig()
 	cfg.W, cfg.H = 160, 160

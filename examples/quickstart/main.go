@@ -1,10 +1,13 @@
-// Quickstart: build a small emergency-landing system, point it at an urban
-// scene, and watch the Figure 2 pipeline pick and verify a landing zone.
+// Quickstart: build a small emergency-landing engine, feed it a batch of
+// on-board frames, and watch the Figure 2 pipeline pick and verify a
+// landing zone — with the frames verified concurrently across the engine's
+// worker pool.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -13,30 +16,53 @@ import (
 )
 
 func main() {
-	// 1. Train a compact system (a few seconds on a laptop). Real
-	// deployments would load a checkpoint produced by cmd/eltrain instead.
-	fmt.Fprintln(os.Stderr, "training a compact EL system...")
-	sys := safeland.NewSystem(safeland.Options{
-		Seed:        1,
-		TrainScenes: 5,
-		TrainSteps:  500,
-		SceneSize:   192,
-		MCSamples:   10,
-	})
+	// 1. Train a compact engine (a few seconds on a laptop). Real
+	// deployments would load a checkpoint produced by cmd/eltrain via
+	// safeland.WithCheckpoint instead.
+	fmt.Fprintln(os.Stderr, "training a compact EL engine...")
+	eng, err := safeland.NewEngine(
+		safeland.WithSeed(1),
+		safeland.WithTraining(5, 500, 192),
+		safeland.WithMonitorSamples(10),
+		safeland.WithWorkers(4),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 
-	// 2. Emergency! Run the Figure 2 pipeline on successive on-board frames
-	// (the vehicle keeps flying while no zone is confirmed): segmentation
-	// -> zone proposals -> Bayesian monitor -> decision module.
+	// 2. Emergency! The vehicle keeps streaming frames while no zone is
+	// confirmed. Batch them through the engine: each frame runs the full
+	// Figure 2 pipeline (segmentation -> zone proposals -> Bayesian
+	// monitor -> decision module) on its own worker, and the responses
+	// come back in request order.
 	cfg := urban.DefaultConfig()
 	cfg.W, cfg.H = 192, 192
+	var reqs []safeland.SelectRequest
+	var scenes []*urban.Scene
 	for frame := int64(0); frame < 4; frame++ {
 		scene := urban.Generate(cfg, urban.DefaultConditions(), 4242+frame)
-		fmt.Printf("\n--- frame %d: %.0fx%.0f m city block at %.2f m/px ---\n",
-			frame+1, scene.Layout.WorldW, scene.Layout.WorldH, scene.MPP)
-		res := sys.SelectLandingZone(scene.Image, scene.MPP)
-		for i, tr := range res.Trials {
+		scenes = append(scenes, scene)
+		reqs = append(reqs, safeland.SelectRequest{Image: scene.Image, MPP: scene.MPP})
+	}
+
+	fmt.Printf("verifying %d frames on %d workers (%s backend)...\n",
+		len(reqs), eng.Workers(), eng.SelectorName())
+	resps := eng.SelectBatch(context.Background(), reqs)
+
+	for i, resp := range resps {
+		scene := scenes[i]
+		fmt.Printf("\n--- frame %d: %.0fx%.0f m city block at %.2f m/px (%.0f ms on-worker) ---\n",
+			i+1, scene.Layout.WorldW, scene.Layout.WorldH, scene.MPP,
+			float64(resp.Elapsed.Microseconds())/1000)
+		if resp.Err != nil {
+			fmt.Println("  request failed:", resp.Err)
+			continue
+		}
+		res := resp.Result
+		for j, tr := range res.Trials {
 			fmt.Printf("  trial %d: zone (%3d,%3d) road-dist %5.1f m, safe %.2f -> flagged %.3f, confirmed=%v\n",
-				i+1, tr.Candidate.X0, tr.Candidate.Y0, tr.Candidate.MinRoadDistM,
+				j+1, tr.Candidate.X0, tr.Candidate.Y0, tr.Candidate.MinRoadDistM,
 				tr.Candidate.SafeFraction, tr.Verdict.FlaggedFraction, tr.Verdict.Confirmed)
 		}
 		fmt.Printf("  pipeline: %s\n", res.Describe())

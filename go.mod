@@ -1,0 +1,3 @@
+module safeland
+
+go 1.24

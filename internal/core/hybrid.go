@@ -40,18 +40,25 @@ func NewHybrid(p *Pipeline) *Hybrid {
 	}
 }
 
-// SelectAndVerify runs the fused selection on a scene: vision candidates
-// are filtered and re-ranked by the static risk map before the Bayesian
-// monitor verifies them.
+// SelectAndVerify runs the fused selection on a scene with the pipeline's
+// configured zone settings. It is shorthand for SelectWithConfig.
 func (h *Hybrid) SelectAndVerify(scene *urban.Scene) Result {
+	return h.SelectWithConfig(scene, h.Pipeline.Zones)
+}
+
+// SelectWithConfig runs the fused selection on a scene: vision candidates
+// are filtered and re-ranked by the static risk map before the Bayesian
+// monitor verifies them. The zone configuration is a per-call value;
+// neither the hybrid nor its pipeline is mutated.
+func (h *Hybrid) SelectWithConfig(scene *urban.Scene, cfg ZoneConfig) Result {
 	p := h.Pipeline
 	pred := p.Model.Predict(scene.Image)
 	static := riskmap.BuildStatic(scene.Layout, scene.Labels.W, scene.Labels.H, scene.MPP, h.StaticCfg)
 
-	zones := p.Zones
+	zones := cfg
 	var cands []Candidate
 	for _, scale := range []float64{1, 0.66, 0.4, 0.2} {
-		zones.BufferM = p.Zones.BufferM * scale
+		zones.BufferM = cfg.BufferM * scale
 		if zones.BufferM < zones.ZoneSizeM/4 {
 			zones.BufferM = zones.ZoneSizeM / 4
 		}
@@ -106,14 +113,9 @@ func (h *Hybrid) fuse(cands []Candidate, static *imaging.Map) []Candidate {
 
 // PlanLanding implements uav.LandingPlanner with the fused selection.
 func (h *Hybrid) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
-	p := h.Pipeline
-	zones := p.Zones
+	zones := h.Pipeline.Zones
 	zones.HomeX, zones.HomeY = xM, yM
-	saved := p.Zones
-	p.Zones = zones
-	defer func() { p.Zones = saved }()
-
-	res := h.SelectAndVerify(scene)
+	res := h.SelectWithConfig(scene, zones)
 	if !res.Confirmed {
 		return 0, 0, false
 	}

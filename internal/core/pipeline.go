@@ -67,9 +67,20 @@ type Result struct {
 	UsedBufferM float64
 }
 
-// SelectAndVerify runs the complete pipeline on one on-board image:
+// SelectAndVerify runs the complete pipeline on one on-board image with the
+// pipeline's configured zone settings. It is shorthand for SelectWithConfig
+// with p.Zones; see there for the selection semantics.
+func (p *Pipeline) SelectAndVerify(img *imaging.Image, mpp float64) Result {
+	return p.SelectWithConfig(img, mpp, p.Zones)
+}
+
+// SelectWithConfig runs the complete pipeline on one on-board image:
 // segment, propose candidates, verify each with the Bayesian monitor, and
-// let the Decision Module confirm, retry or abort.
+// let the Decision Module confirm, retry or abort. The zone configuration
+// is a per-call value: the pipeline itself is never mutated, so one
+// Pipeline may serve many differently-parameterized selections (callers
+// that need parallelism still need one model replica per goroutine; see
+// Replica).
 //
 // When the configured drift buffer fits nowhere in the scene (dense street
 // grids), the buffer is relaxed stepwise. The hard invariant — no predicted
@@ -77,12 +88,12 @@ type Result struct {
 // relaxes; only the margin shrinks. This mirrors the Table III structure:
 // the low-integrity criterion (no high-risk areas in the zone) is absolute,
 // the medium-integrity drift margin degrades before the flight aborts.
-func (p *Pipeline) SelectAndVerify(img *imaging.Image, mpp float64) Result {
+func (p *Pipeline) SelectWithConfig(img *imaging.Image, mpp float64, cfg ZoneConfig) Result {
 	pred := p.Model.Predict(img)
-	zones := p.Zones
+	zones := cfg
 	var cands []Candidate
 	for _, scale := range []float64{1, 0.66, 0.4, 0.2} {
-		zones.BufferM = p.Zones.BufferM * scale
+		zones.BufferM = cfg.BufferM * scale
 		if zones.BufferM < zones.ZoneSizeM/4 {
 			zones.BufferM = zones.ZoneSizeM / 4
 		}
@@ -136,16 +147,26 @@ func evenAlign(x0, w, size int) int {
 func (p *Pipeline) PlanLanding(scene *urban.Scene, xM, yM float64) (txM, tyM float64, ok bool) {
 	zones := p.Zones
 	zones.HomeX, zones.HomeY = xM, yM
-	saved := p.Zones
-	p.Zones = zones
-	defer func() { p.Zones = saved }()
-
-	res := p.SelectAndVerify(scene.Image, scene.MPP)
+	res := p.SelectWithConfig(scene.Image, scene.MPP, zones)
 	if !res.Confirmed {
 		return 0, 0, false
 	}
 	txM, tyM = res.Zone.CenterM(scene.MPP)
 	return txM, tyM, true
+}
+
+// Replica returns an independent pipeline around the given model replica,
+// inheriting p's monitor settings, rule, zone configuration and trial
+// budget. The two pipelines share no mutable state, so they may run
+// concurrently; the monitor seed carries over, keeping Monte-Carlo sample
+// sequences — and therefore verdicts — identical to the original's.
+func (p *Pipeline) Replica(m *segment.Model) *Pipeline {
+	mon := *p.Monitor
+	mon.Model = m
+	q := *p
+	q.Model = m
+	q.Monitor = &mon
+	return &q
 }
 
 // Describe renders a short trace of a result for logs and examples.

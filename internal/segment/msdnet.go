@@ -5,6 +5,7 @@
 package segment
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -151,6 +152,24 @@ func (m *Model) Predict(img *imaging.Image) *imaging.LabelMap {
 		out.Pix[i] = imaging.Class(c)
 	}
 	return out
+}
+
+// Clone returns an independent copy of the model: a fresh network of the
+// same architecture with the parameters and batch-norm statistics copied
+// over. Forward passes cache per-layer state, so a model instance must not
+// be shared across goroutines; Clone is how concurrent servers get one
+// replica per worker. Dropout layers are rebuilt from Cfg.Seed, so a
+// reseeded Monte-Carlo sample sequence is identical on every clone.
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, m.Net); err != nil {
+		return nil, fmt.Errorf("cloning model: %w", err)
+	}
+	c := New(m.Cfg)
+	if err := nn.LoadParams(&buf, c.Net); err != nil {
+		return nil, fmt.Errorf("cloning model: %w", err)
+	}
+	return c, nil
 }
 
 // Save writes the model parameters to path.

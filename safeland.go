@@ -5,11 +5,35 @@
 // assessment engine, and the simulation substrates needed to evaluate all
 // of it (procedural urban scenes, flight dynamics, casualty model).
 //
-// This root package is the high-level facade: build or load a trained
-// System, ask it for landing zones, fly simulated missions, and produce the
-// SORA certification argument. The building blocks live in internal/
-// packages and are exercised by the examples/ programs, the cmd/ tools and
-// the experiment suite (cmd/elbench).
+// This root package is the high-level facade. Its center is the Engine: a
+// context-aware, concurrent request/response API for landing-zone
+// selection. Construct one with functional options, then serve frames
+// through explicit request/response types:
+//
+//	eng, err := safeland.NewEngine(
+//		safeland.WithSeed(2021),
+//		safeland.WithMonitorSamples(10),
+//		safeland.WithWorkers(4),
+//	)
+//	resp := eng.Select(ctx, safeland.SelectRequest{Image: img, MPP: 0.5})
+//
+// Every entry point takes a context.Context; SelectBatch verifies N frames
+// in parallel across the worker pool, and Serve turns the engine into a
+// streaming service over a request channel. The selection backend is
+// pluggable through the Selector interface: PipelineSelector is the
+// paper's monitored Figure 2 pipeline, HybridSelector fuses it with a
+// static GIS risk map, and BaselineSelector adapts the related-work survey
+// methods, so all of them are interchangeable behind one API. Each worker
+// owns a private replica of the trained model (the perception stack caches
+// per-layer state and is deliberately not shared), and the monitor's
+// per-call reseeding keeps concurrent results identical to sequential
+// runs.
+//
+// System remains as the single-threaded assembly underneath the Engine —
+// NewEngine builds or adopts one — and its direct selection methods are
+// kept as deprecated shims for existing callers. The building blocks live
+// in internal/ packages and are exercised by the examples/ programs, the
+// cmd/ tools and the experiment suite (cmd/elbench).
 package safeland
 
 import (
@@ -114,24 +138,46 @@ func (s *System) Save(path string) error {
 	return nil
 }
 
+// Replica returns an independent copy of the system sharing no mutable
+// state with the original: the model parameters and batch-norm statistics
+// are duplicated into a fresh network, and the monitor seed carries over
+// so Monte-Carlo verdicts stay identical. This is how the Engine gives
+// each worker a private perception stack.
+func (s *System) Replica() (*System, error) {
+	m, err := s.Pipeline.Model.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("safeland: replicating system: %w", err)
+	}
+	return &System{Pipeline: s.Pipeline.Replica(m), Spec: s.Spec}, nil
+}
+
 // SelectLandingZone runs the full Figure 2 pipeline on one on-board image:
 // segmentation, zone proposal, Bayesian verification and the decision
 // module. mpp is the ground sampling distance in meters per pixel.
+//
+// Deprecated: use Engine.Select, which adds context support, request
+// deadlines and concurrent serving. This shim remains for single-threaded
+// callers and produces identical results.
 func (s *System) SelectLandingZone(img *imaging.Image, mpp float64) core.Result {
 	return s.Pipeline.SelectAndVerify(img, mpp)
 }
 
 // PlanLanding implements uav.LandingPlanner so the system can be dropped
 // into the mission simulator's safety switch.
+//
+// Deprecated: use Engine.PlanLanding, which serves from the engine's
+// worker pool instead of the shared system model.
 func (s *System) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
 	return s.Pipeline.PlanLanding(scene, xM, yM)
 }
 
-// Certify runs the SORA v2.0 assessment for the MEDI DELIVERY operation
-// with this system claimed as an active-M1 mitigation under the given
-// validation claims, alongside a Medium-robustness emergency response plan.
-func (s *System) Certify(claims core.Claims) sora.Assessment {
-	op := Operation(s.Spec)
+// Certify runs the SORA v2.0 assessment for the given vehicle's MEDI
+// DELIVERY-style operation with the emergency-landing function claimed as
+// an active-M1 mitigation under the given validation claims, alongside a
+// Medium-robustness emergency response plan. No trained model is needed:
+// the claims are the evidence the assessment weighs.
+func Certify(spec uav.Spec, claims core.Claims) sora.Assessment {
+	op := Operation(spec)
 	op.Mitigations = []sora.Mitigation{
 		{Type: sora.M3, Integrity: sora.Medium, Assurance: sora.Medium},
 		core.MitigationClaim(claims),
@@ -139,13 +185,32 @@ func (s *System) Certify(claims core.Claims) sora.Assessment {
 	return sora.Assess(op)
 }
 
+// Certify runs the SORA v2.0 assessment for this system's vehicle; see the
+// package-level Certify.
+func (s *System) Certify(claims core.Claims) sora.Assessment {
+	return Certify(s.Spec, claims)
+}
+
 // Operation builds the paper's MEDI DELIVERY SORA operation for a vehicle.
 func Operation(spec uav.Spec) sora.Operation {
+	return CustomOperation(spec.Name, spec.SpanM, spec.MTOWKg, spec.CruiseAltM, sora.BVLOSPopulated)
+}
+
+// CustomOperation builds a SORA operation for an arbitrary vehicle and
+// operational scenario, deriving the ballistic kinetic energy and airspace
+// from the physical parameters the same way Operation does for the
+// paper's case study.
+func CustomOperation(name string, spanM, mtowKg, altM float64, sc sora.OperationalScenario) sora.Operation {
+	overCity := false
+	switch sc {
+	case sora.VLOSPopulated, sora.BVLOSPopulated, sora.VLOSGathering, sora.BVLOSGathering:
+		overCity = true
+	}
 	return sora.Operation{
-		Name:           spec.Name,
-		SpanM:          spec.SpanM,
-		KineticEnergyJ: uav.BallisticImpactEnergy(spec.MTOWKg, spec.CruiseAltM),
-		Scenario:       sora.BVLOSPopulated,
-		Airspace:       sora.Airspace{MaxHeightFt: spec.CruiseAltM * 3.28084, Urban: true},
+		Name:           name,
+		SpanM:          spanM,
+		KineticEnergyJ: uav.BallisticImpactEnergy(mtowKg, altM),
+		Scenario:       sc,
+		Airspace:       sora.Airspace{MaxHeightFt: altM * 3.28084, Urban: overCity},
 	}
 }
