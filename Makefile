@@ -1,11 +1,11 @@
 # Developer workflow for the safeland reproduction.
 #
 #   make check   # tier-1 gate + race detector over the concurrent paths
-#   make bench   # one pass over the experiment benchmarks (E1-E10 + Engine)
+#   make bench   # experiment benchmarks; fleet numbers land in BENCH_experiments.json
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race race-experiments bench
 
 check: fmt vet build race
 
@@ -22,12 +22,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The Engine serves requests concurrently over per-worker model replicas;
+# The Engine serves requests concurrently over per-worker model replicas,
+# and the experiment fleets (E5, E7-E10) fan scenes out across that pool;
 # every change to those paths must survive the race detector. The race
 # instrumentation slows the training fixtures by an order of magnitude,
 # hence the generous timeout.
 race:
 	$(GO) test -race -timeout 120m ./...
 
+# Focused loop for fleet work: vet plus the quick-config experiment fleets
+# (parity, cancellation, full E-suite) under the race detector, without
+# paying for the whole repo's race sweep.
+race-experiments:
+	$(GO) vet ./internal/experiments
+	$(GO) test -race -timeout 120m ./internal/experiments
+
+# One pass over every benchmark; the experiment-fleet scaling curve
+# (BenchmarkExperimentE8Workers{1,4,8}) is captured as test2json events in
+# BENCH_experiments.json for machine consumption.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=BenchmarkExperiment -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json

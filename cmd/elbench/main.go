@@ -1,9 +1,14 @@
 // Command elbench regenerates every table and figure of the paper
-// (experiments E1–E10, see DESIGN.md). Typical use:
+// (experiments E1–E10, see DESIGN.md). The model-dependent experiments
+// (E5, E7–E10) run as scenario fleets over the safeland.Engine worker
+// pool; -workers sizes the pool without changing any reported number
+// (per-scene seeding keeps fleet output byte-identical across worker
+// counts). Typical use:
 //
 //	elbench                 # run everything at full scale
 //	elbench -run E7,E9      # run selected experiments
 //	elbench -quick          # smoke-test scale
+//	elbench -workers 8      # wider Engine pool for the fleets
 //	elbench -out results.txt
 package main
 
@@ -18,17 +23,27 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: flags are parsed from args, reports go
+// to stdout, progress and errors to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runIDs = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
-		quick  = flag.Bool("quick", false, "reduced scale for smoke testing")
-		outPth = flag.String("out", "", "also write output to this file")
-		seed   = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+		runIDs  = fs.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		quick   = fs.Bool("quick", false, "reduced scale for smoke testing")
+		outPth  = fs.String("out", "", "also write output to this file")
+		seed    = fs.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+		workers = fs.Int("workers", 0, "Engine worker-pool size for the experiment fleets (0 = auto)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -37,24 +52,26 @@ func run() int {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
 	if *outPth != "" {
 		f, err := os.Create(*outPth)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			fmt.Fprintf(stderr, "elbench: %v\n", err)
 			return 1
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
-	env := experiments.NewEnv(cfg, os.Stderr)
-	fmt.Fprintf(w, "safeland experiment suite — seed %d, scale %s\n", cfg.Seed, scaleName(*quick))
+	env := experiments.NewEnv(cfg, stderr)
+	fmt.Fprintf(w, "safeland experiment suite — seed %d, scale %s, %d fleet workers\n",
+		cfg.Seed, scaleName(*quick), env.Workers())
 
 	if *runIDs == "all" {
 		if err := experiments.RunAll(env, w); err != nil {
-			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			fmt.Fprintf(stderr, "elbench: %v\n", err)
 			return 1
 		}
 		return 0
@@ -65,7 +82,7 @@ func run() int {
 			continue
 		}
 		if err := experiments.RunByID(id, env, w); err != nil {
-			fmt.Fprintf(os.Stderr, "elbench: %v\n", err)
+			fmt.Fprintf(stderr, "elbench: %v\n", err)
 			return 1
 		}
 	}

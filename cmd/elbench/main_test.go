@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunModelFreeExperiment smoke-tests the binary entry point on an
+// experiment that needs no trained model: flag parsing, env construction
+// and report plumbing, without paying the training fixture.
+func TestRunModelFreeExperiment(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E1", "-workers", "2"}, &out, &errs); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errs.String())
+	}
+	for _, want := range []string{"seed 2021", "scale quick", "2 fleet workers", "E1", "Catastrophic"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownExperimentFails(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E99"}, &out, io.Discard); code != 1 {
+		t.Fatalf("exit code %d for unknown experiment, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-bogus"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("exit code %d for bad flag, want 2", code)
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E1", "-seed", "99"}, &out, io.Discard); code != 0 {
+		t.Fatal("seed override run failed")
+	}
+	if !strings.Contains(out.String(), "seed 99") {
+		t.Errorf("seed override not reflected:\n%s", out.String())
+	}
+}

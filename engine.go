@@ -32,9 +32,10 @@ type SelectRequest struct {
 	HomeX, HomeY float64
 	// Deadline, when nonzero, bounds how long this one request may wait
 	// for a worker, in addition to the context passed to the Engine call.
-	// A request that reaches a worker before the deadline runs to
-	// completion: the perception pipeline is monolithic, and a landing
-	// decision already in progress is worth finishing.
+	// The deadline guards queueing only: a request that reaches a worker
+	// before the deadline runs under the caller's context alone, which —
+	// unlike the deadline — is honored mid-trial by the perception stack,
+	// so cancelling the Engine call aborts a selection already in progress.
 	Deadline time.Time
 }
 
@@ -148,7 +149,10 @@ func DefaultWorkers() int {
 // re-entrant (forward passes cache per-layer state, Monte-Carlo dropout
 // keeps per-layer RNGs): instead of locking the hot path, each worker owns
 // a full replica, and the monitor's per-call reseeding keeps verdicts
-// byte-identical to a sequential run regardless of scheduling.
+// byte-identical to a sequential run regardless of scheduling. Replicas
+// share their parameter tensors under the frozen-weights invariant
+// (segment.Model.Clone), so an N-worker pool pays for one copy of the
+// model weights plus N sets of per-layer scratch state.
 type Engine struct {
 	sys      *System
 	workers  int
@@ -227,7 +231,9 @@ func (e *Engine) Certify(claims core.Claims) sora.Assessment {
 
 // Select serves one request synchronously: it waits for a free worker
 // (honoring ctx and the request deadline while queued) and runs the
-// backend on it.
+// backend on it. The backend keeps honoring ctx mid-trial — a cancelled
+// selection stops within one network layer's work and carries ctx's error
+// in the response.
 func (e *Engine) Select(ctx context.Context, req SelectRequest) SelectResponse {
 	return e.run(ctx, req, 0)
 }

@@ -275,6 +275,87 @@ func TestEngineServeDeliversCompletedOnCancel(t *testing.T) {
 	}
 }
 
+// TestEngineSelectCancelsMidTrial pins the ctx-aware perception stack: a
+// context cancelled while the pipeline is mid-selection (not merely queued)
+// must surface ctx.Err() promptly instead of running the remaining
+// Monte-Carlo trials to completion.
+func TestEngineSelectCancelsMidTrial(t *testing.T) {
+	sys := quickSystem(t)
+	eng, err := NewEngine(WithSystem(sys), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+	scene := urban.Generate(cfg, urban.DefaultConditions(), 55)
+
+	// Uncancelled baseline: how long a full selection takes, and its result.
+	full := eng.Select(context.Background(), SelectRequest{Image: scene.Image, MPP: scene.MPP})
+	if full.Err != nil {
+		t.Fatal(full.Err)
+	}
+
+	// A timeout of a small fraction of the full selection lands mid-trial:
+	// the worker is free, so the request dequeues immediately and the
+	// deadline expires inside the perception stack.
+	timeout := full.Elapsed / 20
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	resp := eng.Select(ctx, SelectRequest{Image: scene.Image, MPP: scene.MPP})
+	if resp.Err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", resp.Err)
+	}
+	// "Promptly": well under the full selection time. One network layer is
+	// the cancellation granularity; allow half the full run as slack.
+	if waited := time.Since(start); waited > full.Elapsed/2+50*time.Millisecond {
+		t.Errorf("cancelled select took %v of a %v full run", waited, full.Elapsed)
+	}
+
+	// The engine stays serviceable and deterministic after a cancellation.
+	again := eng.Select(context.Background(), SelectRequest{Image: scene.Image, MPP: scene.MPP})
+	if again.Err != nil {
+		t.Fatal(again.Err)
+	}
+	if !reflect.DeepEqual(full.Result, again.Result) {
+		t.Error("result after a cancelled request diverged from the baseline")
+	}
+}
+
+// TestEngineReplicasShareWeights pins the replica-pool memory guarantee:
+// every worker's model aliases the source system's parameter tensors.
+func TestEngineReplicasShareWeights(t *testing.T) {
+	sys := stubSystem()
+	eng, err := NewEngine(WithSystem(sys), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sys.Pipeline.Model.Net.Params()
+	for w := 0; w < eng.Workers(); w++ {
+		sel := <-eng.replicas
+		rep, ok := sel.(*pipelineSelector)
+		if !ok {
+			t.Fatalf("worker %d selector is %T", w, sel)
+		}
+		if rep.pipe.Model == sys.Pipeline.Model {
+			t.Fatalf("worker %d shares the model instance (must be a clone)", w)
+		}
+		if !rep.pipe.Model.Frozen() {
+			t.Errorf("worker %d replica not marked frozen", w)
+		}
+		got := rep.pipe.Model.Net.Params()
+		for i := range src {
+			if src[i].Value != got[i].Value {
+				t.Fatalf("worker %d param %d (%s) copied instead of shared", w, i, src[i].Name)
+			}
+		}
+		defer func() { eng.replicas <- sel }()
+	}
+}
+
 func TestEngineSelectorInterchangeability(t *testing.T) {
 	sys := quickSystem(t)
 	cfg := urban.DefaultConfig()

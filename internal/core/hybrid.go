@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"safeland/internal/imaging"
@@ -51,8 +52,18 @@ func (h *Hybrid) SelectAndVerify(scene *urban.Scene) Result {
 // monitor verifies them. The zone configuration is a per-call value;
 // neither the hybrid nor its pipeline is mutated.
 func (h *Hybrid) SelectWithConfig(scene *urban.Scene, cfg ZoneConfig) Result {
+	res, _ := h.SelectWithConfigCtx(context.Background(), scene, cfg)
+	return res
+}
+
+// SelectWithConfigCtx is SelectWithConfig with cooperative cancellation;
+// the semantics mirror Pipeline.SelectWithConfigCtx.
+func (h *Hybrid) SelectWithConfigCtx(ctx context.Context, scene *urban.Scene, cfg ZoneConfig) (Result, error) {
 	p := h.Pipeline
-	pred := p.Model.Predict(scene.Image)
+	pred, err := p.Model.PredictCtx(ctx, scene.Image)
+	if err != nil {
+		return Result{}, err
+	}
 	static := riskmap.BuildStatic(scene.Layout, scene.Labels.W, scene.Labels.H, scene.MPP, h.StaticCfg)
 
 	zones := cfg
@@ -72,21 +83,24 @@ func (h *Hybrid) SelectWithConfig(scene *urban.Scene, cfg ZoneConfig) Result {
 		sub := scene.Image.Crop(evenAlign(cand.X0, scene.Image.W, cand.SizePx),
 			evenAlign(cand.Y0, scene.Image.H, cand.SizePx),
 			evenSize(cand.SizePx), evenSize(cand.SizePx))
-		verdict := p.Monitor.VerifyRegion(sub, p.Rule)
+		verdict, err := p.Monitor.VerifyRegionCtx(ctx, sub, p.Rule)
+		if err != nil {
+			return res, err
+		}
 		res.Trials = append(res.Trials, Trial{Candidate: cand, Verdict: verdict})
 		switch dm.Offer(verdict) {
 		case Landing:
 			res.Confirmed = true
 			res.Zone = cand
 			res.State = Landing
-			return res
+			return res, nil
 		case Aborted:
 			res.State = Aborted
-			return res
+			return res, nil
 		}
 	}
 	res.State = dm.Exhausted()
-	return res
+	return res, nil
 }
 
 // fuse drops candidates the static map forbids and re-ranks the survivors.

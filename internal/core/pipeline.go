@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"safeland/internal/imaging"
@@ -89,7 +90,23 @@ func (p *Pipeline) SelectAndVerify(img *imaging.Image, mpp float64) Result {
 // the low-integrity criterion (no high-risk areas in the zone) is absolute,
 // the medium-integrity drift margin degrades before the flight aborts.
 func (p *Pipeline) SelectWithConfig(img *imaging.Image, mpp float64, cfg ZoneConfig) Result {
-	pred := p.Model.Predict(img)
+	res, _ := p.SelectWithConfigCtx(context.Background(), img, mpp, cfg)
+	return res
+}
+
+// SelectWithConfigCtx is SelectWithConfig with cooperative cancellation
+// threaded through the whole perception stack: the segmentation forward
+// pass, every Monte-Carlo monitor trial, and the gaps between trials all
+// honor ctx. A cancelled selection returns ctx's error together with the
+// partial Result accumulated so far (completed trials are kept, Confirmed
+// stays false). A selection that completes is byte-identical to a
+// SelectWithConfig run: cancellation never perturbs the Monte-Carlo
+// sequences of surviving calls, because the monitor reseeds per trial.
+func (p *Pipeline) SelectWithConfigCtx(ctx context.Context, img *imaging.Image, mpp float64, cfg ZoneConfig) (Result, error) {
+	pred, err := p.Model.PredictCtx(ctx, img)
+	if err != nil {
+		return Result{}, err
+	}
 	zones := cfg
 	var cands []Candidate
 	for _, scale := range []float64{1, 0.66, 0.4, 0.2} {
@@ -106,21 +123,24 @@ func (p *Pipeline) SelectWithConfig(img *imaging.Image, mpp float64, cfg ZoneCon
 	for _, cand := range cands {
 		sub := img.Crop(evenAlign(cand.X0, img.W, cand.SizePx), evenAlign(cand.Y0, img.H, cand.SizePx),
 			evenSize(cand.SizePx), evenSize(cand.SizePx))
-		verdict := p.Monitor.VerifyRegion(sub, p.Rule)
+		verdict, err := p.Monitor.VerifyRegionCtx(ctx, sub, p.Rule)
+		if err != nil {
+			return res, err
+		}
 		res.Trials = append(res.Trials, Trial{Candidate: cand, Verdict: verdict})
 		switch dm.Offer(verdict) {
 		case Landing:
 			res.Confirmed = true
 			res.Zone = cand
 			res.State = Landing
-			return res
+			return res, nil
 		case Aborted:
 			res.State = Aborted
-			return res
+			return res, nil
 		}
 	}
 	res.State = dm.Exhausted()
-	return res
+	return res, nil
 }
 
 // evenSize rounds a crop size up to even so the downsampling model accepts

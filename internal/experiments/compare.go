@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"safeland"
 	"safeland/internal/baseline"
-	"safeland/internal/core"
 	"safeland/internal/hazard"
 	"safeland/internal/imaging"
 	"safeland/internal/riskmap"
@@ -17,8 +18,13 @@ import (
 // EL risk reduction: every landing strategy picks a zone in the same
 // emergency scenes, the landing is simulated (parachute from the deployment
 // altitude under wind), and the impact is assessed with the casualty model.
+//
+// Every strategy — the monitored pipeline, the GIS hybrid, and each survey
+// baseline — runs as a Selector backend behind a safeland.Engine, and its
+// scenes fan out through SelectBatch over the configured worker pool.
+// Per-scene wind seeds and the monitor's per-call reseeding make the
+// report byte-identical whatever the worker count.
 func RunE8(e *Env, w io.Writer) error {
-	pipe := e.Pipeline()
 	scenes := urban.GenerateSet(e.SceneConfig(), urban.DefaultConditions(), e.Cfg.CompareScenes, e.Cfg.Seed+80)
 	spec := uav.MediDelivery()
 
@@ -28,58 +34,33 @@ func RunE8(e *Env, w io.Writer) error {
 
 	type method struct {
 		name string
-		// pick returns the landing point in meters and whether one exists.
-		pick func(s *urban.Scene) (float64, float64, bool)
+		// factory builds the strategy's Engine backend.
+		factory safeland.SelectorFactory
 		// deployAlt is the parachute deployment altitude; cruise altitude
 		// models uncontrolled termination.
 		deployAlt float64
 	}
-	zonePx := func(s *urban.Scene) int {
-		z := int(pipe.Zones.ZoneSizeM / s.MPP)
-		if z%2 == 1 {
-			z++
-		}
-		return z
-	}
-	selectorPick := func(sel baseline.Selector) func(s *urban.Scene) (float64, float64, bool) {
-		return func(s *urban.Scene) (float64, float64, bool) {
-			z, ok := sel.Select(s, zonePx(s))
-			if !ok {
-				return 0, 0, false
-			}
-			x, y := z.CenterM(s.MPP)
-			return x, y, true
-		}
-	}
-	hybrid := core.NewHybrid(pipe)
 	methods := []method{
-		{"EL (MSDnet + monitor)", func(s *urban.Scene) (float64, float64, bool) {
-			return pipe.PlanLanding(s, s.Layout.WorldW/2, s.Layout.WorldH/2)
-		}, spec.ParachuteDeployAltM},
-		{"hybrid EL + GIS (future work)", func(s *urban.Scene) (float64, float64, bool) {
-			return hybrid.PlanLanding(s, s.Layout.WorldW/2, s.Layout.WorldH/2)
-		}, spec.ParachuteDeployAltM},
-		{"static risk map (GIS)", func(s *urban.Scene) (float64, float64, bool) {
-			risk := riskmap.BuildStatic(s.Layout, s.Labels.W, s.Labels.H, s.MPP, riskmap.DefaultStaticConfig())
-			x0, y0, ok := riskmap.SelectZone(risk, zonePx(s))
-			if !ok {
-				return 0, 0, false
-			}
-			zp := float64(zonePx(s))
-			return (float64(x0) + zp/2) * s.MPP, (float64(y0) + zp/2) * s.MPP, true
-		}, spec.ParachuteDeployAltM},
-		{"canny edge density", selectorPick(baseline.NewCanny()), spec.ParachuteDeployAltM},
-		{"tile classifier", selectorPick(tiles), spec.ParachuteDeployAltM},
-		{"flatness (depth)", selectorPick(baseline.Flatness{}), spec.ParachuteDeployAltM},
-		{"uncontrolled FT (parachute)", func(s *urban.Scene) (float64, float64, bool) {
-			return s.Layout.WorldW / 2, s.Layout.WorldH / 2, true
-		}, spec.CruiseAltM},
+		{"EL (MSDnet + monitor)", safeland.PipelineSelector(), spec.ParachuteDeployAltM},
+		{"hybrid EL + GIS (future work)", safeland.HybridSelector(), spec.ParachuteDeployAltM},
+		{"static risk map (GIS)",
+			safeland.BaselineSelector(staticRiskmapSelector{cfg: riskmap.DefaultStaticConfig()}), spec.ParachuteDeployAltM},
+		{"canny edge density", safeland.BaselineSelector(baseline.NewCanny()), spec.ParachuteDeployAltM},
+		{"tile classifier", safeland.BaselineSelector(tiles), spec.ParachuteDeployAltM},
+		{"flatness (depth)", safeland.BaselineSelector(baseline.Flatness{}), spec.ParachuteDeployAltM},
+		{"uncontrolled FT (parachute)", safeland.BaselineSelector(sceneCenterSelector{}), spec.CruiseAltM},
+	}
+
+	reqs := make([]safeland.SelectRequest, len(scenes))
+	for i, s := range scenes {
+		reqs[i] = safeland.SelectRequest{Scene: s, HomeX: s.Layout.WorldW / 2, HomeY: s.Layout.WorldH / 2}
 	}
 
 	fmt.Fprintf(w, "%d emergency scenes, rush hour, wind 2 m/s with gusts.\n", len(scenes))
-	fmt.Fprintln(w, "Zone-selection quality is scored over the scenes where the method commits")
-	fmt.Fprintln(w, "to a zone; a refusal falls back to flight termination from cruise altitude")
-	fmt.Fprintln(w, "(identical for every method), accounted separately below.")
+	fmt.Fprintln(w, "Each strategy serves the scene fleet through Engine.SelectBatch; zone-selection")
+	fmt.Fprintln(w, "quality is scored over the scenes where the method commits to a zone; a refusal")
+	fmt.Fprintln(w, "falls back to flight termination from cruise altitude (identical for every")
+	fmt.Fprintln(w, "method), accounted separately below.")
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  %-30s %8s %10s %12s %12s %10s\n",
 		"method", "picked", "busy-road", "E[fatal]", "worst sev", "sev>=4")
@@ -98,14 +79,24 @@ func RunE8(e *Env, w io.Writer) error {
 	}
 
 	for _, meth := range methods {
+		eng, err := e.EngineWith(meth.factory, 0)
+		if err != nil {
+			return fmt.Errorf("E8 %s: %w", meth.name, err)
+		}
+		resps := eng.SelectBatch(context.Background(), reqs)
+
 		var picked, roadHits, severe int
 		var expFatal float64
 		worst := hazard.Negligible
-		for si, s := range scenes {
-			x, y, ok := meth.pick(s)
-			if !ok {
+		for si, resp := range resps {
+			if resp.Err != nil {
+				return fmt.Errorf("E8 %s scene %d: %w", meth.name, si, resp.Err)
+			}
+			if !resp.Result.Confirmed {
 				continue
 			}
+			s := scenes[si]
+			x, y := resp.Result.Zone.CenterM(s.MPP)
 			picked++
 			a, surface := assessAt(s, x, y, meth.deployAlt, e.Cfg.Seed+int64(si))
 			if surface.BusyRoad() {

@@ -4,6 +4,14 @@
 // assessment, the Figure 1 failure-injection matrix, dataset statistics,
 // the Figure 4 segmentation/monitoring study, the baseline comparison, the
 // sub-image timing argument, and the monitor ablations.
+//
+// The model-dependent experiments (E5, E7–E10) run as scenario fleets over
+// a safeland.Engine: scenes fan out through SelectBatch (or missions share
+// the Engine as their landing planner) across Config.Workers worker
+// replicas that alias one frozen copy of the trained weights. Per-scene
+// seeding plus the monitor's per-call reseeding keep every report
+// byte-identical to a sequential run, whatever the worker count — the
+// parity pinned by TestE8ParallelMatchesSequential.
 package experiments
 
 import (
@@ -11,9 +19,11 @@ import (
 	"io"
 	"sync"
 
+	"safeland"
 	"safeland/internal/core"
 	"safeland/internal/monitor"
 	"safeland/internal/segment"
+	"safeland/internal/uav"
 	"safeland/internal/urban"
 )
 
@@ -37,6 +47,11 @@ type Config struct {
 	CompareScenes int
 	// MissionRepeats sizes the E5 failure matrix.
 	MissionRepeats int
+	// Workers is the Engine worker-pool size the model-dependent experiment
+	// fleets (E5, E7–E10) fan out over; 0 picks safeland.DefaultWorkers().
+	// Per-scene seeding and the monitor's per-call reseeding keep fleet
+	// output byte-identical across worker counts.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale configuration used by cmd/elbench.
@@ -153,6 +168,59 @@ func (e *Env) Bayesian() *monitor.Bayesian {
 	b := monitor.NewBayesian(e.Model(), e.Cfg.Seed+3)
 	b.Samples = e.Cfg.MCSamples
 	return b
+}
+
+// BayesianReplica returns a monitor around a private frozen-weights clone
+// of the trained model. The clone aliases the shared parameter tensors but
+// owns its per-layer caches and dropout RNGs, and the monitor seed matches
+// Bayesian(), so replicas running concurrently produce verdicts identical
+// to the shared monitor's.
+func (e *Env) BayesianReplica() (*monitor.Bayesian, error) {
+	m, err := e.Model().Clone()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cloning monitor replica: %w", err)
+	}
+	b := monitor.NewBayesian(m, e.Cfg.Seed+3)
+	b.Samples = e.Cfg.MCSamples
+	return b, nil
+}
+
+// Workers resolves the fleet worker-pool size.
+func (e *Env) Workers() int {
+	if e.Cfg.Workers > 0 {
+		return e.Cfg.Workers
+	}
+	return safeland.DefaultWorkers()
+}
+
+// System wraps the shared pipeline in the public facade so engines can be
+// built around it. The pipeline (and its trained model) is the cached one;
+// the wrapper itself is cheap.
+func (e *Env) System() *safeland.System {
+	return &safeland.System{Pipeline: e.Pipeline(), Spec: uav.MediDelivery()}
+}
+
+// Engine builds a pipeline-backed engine over the shared model at the
+// configured worker count. Engines are built per call rather than cached:
+// worker replicas share the frozen model weights, so construction costs
+// per-layer scratch allocations only, and each experiment gets a pool
+// sized by the Cfg.Workers in effect when it runs.
+func (e *Env) Engine() (*safeland.Engine, error) {
+	return e.EngineWith(safeland.PipelineSelector(), 0)
+}
+
+// EngineWith builds an engine over the shared model with an arbitrary
+// selector backend — how the E8 strategy fleet runs every landing strategy
+// behind the same SelectBatch surface. workers <= 0 uses Workers().
+func (e *Env) EngineWith(factory safeland.SelectorFactory, workers int) (*safeland.Engine, error) {
+	if workers <= 0 {
+		workers = e.Workers()
+	}
+	return safeland.NewEngine(
+		safeland.WithSystem(e.System()),
+		safeland.WithSelector(factory),
+		safeland.WithWorkers(workers),
+	)
 }
 
 // Experiment is one registered paper artifact reproduction.

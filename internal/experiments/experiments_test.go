@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"safeland/internal/nn"
 )
 
 var sharedEnv struct {
@@ -140,3 +144,101 @@ func TestE5E7E8E9E10(t *testing.T) {
 		t.Logf("%s output:\n%s", id, buf.String())
 	}
 }
+
+// TestE8ParallelMatchesSequential is the fleet-layer acceptance check: the
+// E8 strategy-comparison report must be byte-identical whether the scene
+// fleet runs on one Engine worker or four. The shared trained model is
+// reused across both runs; only Cfg.Workers differs.
+func TestE8ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	restore := env.Cfg.Workers
+	defer func() { env.Cfg.Workers = restore }()
+
+	var seq, par bytes.Buffer
+	env.Cfg.Workers = 1
+	if err := RunE8(env, &seq); err != nil {
+		t.Fatal(err)
+	}
+	env.Cfg.Workers = 4
+	if err := RunE8(env, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("E8 report diverges between 1 and 4 workers:\n--- sequential ---\n%s\n--- 4 workers ---\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestEngineSharesEnvModelWeights pins the fleet memory layout at the
+// experiments layer: an Env-built engine wraps the Env's cached trained
+// model (no retraining per engine), and a monitor replica aliases its
+// parameter tensors instead of copying them — worker replicas are built
+// from the same frozen-weights Clone path.
+func TestEngineSharesEnvModelWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	eng, err := env.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := env.Model()
+	if eng.System().Pipeline.Model != src {
+		t.Fatal("engine source system does not wrap the env's trained model")
+	}
+	rep, err := env.BayesianReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model == src {
+		t.Fatal("monitor replica shares the model instance (must be a clone)")
+	}
+	if !nn.SharesParams(rep.Model.Net, src.Net) {
+		t.Fatal("monitor replica copied the weights instead of sharing them")
+	}
+}
+
+func TestFleetRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 17
+		var hits [n]atomic.Int32
+		fleetRun(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	fleetRun(4, 0, func(int) { t.Fatal("fn called for empty fleet") })
+}
+
+func benchmarkExperimentE8(b *testing.B, workers int) {
+	sharedEnv.once.Do(func() {
+		sharedEnv.env = NewEnv(QuickConfig(), nil)
+	})
+	env := sharedEnv.env
+	restore := env.Cfg.Workers
+	defer func() { env.Cfg.Workers = restore }()
+	env.Cfg.Workers = workers
+	env.Model() // pay the training fixture outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunE8(env, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentE8Workers{1,4,8} trace the strategy-fleet scaling
+// curve; on a multi-core runner the 4-worker point should beat 1 worker
+// while producing byte-identical reports (TestE8ParallelMatchesSequential).
+func BenchmarkExperimentE8Workers1(b *testing.B) { benchmarkExperimentE8(b, 1) }
+
+func BenchmarkExperimentE8Workers4(b *testing.B) { benchmarkExperimentE8(b, 4) }
+
+func BenchmarkExperimentE8Workers8(b *testing.B) { benchmarkExperimentE8(b, 8) }

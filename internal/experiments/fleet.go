@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"sync"
+
+	"safeland/internal/baseline"
+	"safeland/internal/riskmap"
+	"safeland/internal/urban"
+)
+
+// fleetRun executes fn(i) for i in [0, n) across up to workers goroutines
+// and waits for all of them. Work items must write to disjoint memory
+// (typically an index-addressed results slice): collecting outputs by index
+// and aggregating them in order afterwards is what keeps a fleet's report
+// byte-identical to a sequential run, whatever the scheduling.
+func fleetRun(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// staticRiskmapSelector adapts the GIS static risk map to the
+// baseline.Selector interface, so the E8 strategy fleet serves it through
+// safeland.BaselineSelector like the other related-work methods.
+type staticRiskmapSelector struct {
+	cfg riskmap.StaticConfig
+}
+
+func (staticRiskmapSelector) Name() string { return "static-riskmap" }
+
+func (s staticRiskmapSelector) Select(scene *urban.Scene, zonePx int) (baseline.Zone, bool) {
+	risk := riskmap.BuildStatic(scene.Layout, scene.Labels.W, scene.Labels.H, scene.MPP, s.cfg)
+	x0, y0, ok := riskmap.SelectZone(risk, zonePx)
+	if !ok {
+		return baseline.Zone{}, false
+	}
+	return baseline.Zone{X0: x0, Y0: y0, Size: zonePx}, true
+}
+
+// sceneCenterSelector always "picks" the zone under the current position —
+// the E8 stand-in for uncontrolled flight termination, which does not
+// select at all.
+type sceneCenterSelector struct{}
+
+func (sceneCenterSelector) Name() string { return "scene-center" }
+
+func (sceneCenterSelector) Select(scene *urban.Scene, zonePx int) (baseline.Zone, bool) {
+	x0 := (scene.Labels.W - zonePx) / 2
+	y0 := (scene.Labels.H - zonePx) / 2
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	return baseline.Zone{X0: x0, Y0: y0, Size: zonePx}, true
+}

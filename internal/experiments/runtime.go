@@ -13,8 +13,19 @@ import (
 // RunE5 reproduces the Figure 1 architecture behaviorally: it injects every
 // failure kind into simulated missions and tabulates which maneuver the
 // safety switch engages and how the flight ends.
+//
+// The missions fly as a fleet: every (repeat, scene) combination of a
+// failure kind runs on its own goroutine with a shared safeland.Engine as
+// the landing planner, so the perception calls are served by the worker
+// pool while the flight dynamics parallelize freely. Outcomes are
+// collected by index and aggregated in order, and each mission's wind is
+// seeded per (repeat, scene), so the table is byte-identical to a
+// sequential run.
 func RunE5(e *Env, w io.Writer) error {
-	pipe := e.Pipeline()
+	eng, err := e.Engine()
+	if err != nil {
+		return fmt.Errorf("E5: %w", err)
+	}
 	ds := e.Dataset()
 	spec := uav.MediDelivery()
 
@@ -24,26 +35,28 @@ func RunE5(e *Env, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  %-32s %-24s %8s %10s %12s\n", "injected failure", "maneuver engaged", "safe", "impacts", "worst sev")
 	for _, fk := range failures {
+		runs := e.Cfg.MissionRepeats * len(ds.Test)
+		outs := make([]uav.Outcome, runs)
+		fleetRun(e.Workers(), runs, func(i int) {
+			rep, si := i/len(ds.Test), i%len(ds.Test)
+			m := missionOn(ds.Test[si], spec, eng)
+			m.Wind = uav.NewWind(2, 0.5, 0.8, e.Cfg.Seed+int64(100*rep+si))
+			m.Failures = []uav.TimedFailure{{AtS: 5, Kind: fk, ClearAtS: clearTime(fk)}}
+			outs[i] = m.Run()
+		})
+
 		var safe, impacts int
 		worst := hazard.Negligible
 		var maneuver uav.Maneuver
-		runs := 0
-		for rep := 0; rep < e.Cfg.MissionRepeats; rep++ {
-			for si, scene := range ds.Test {
-				runs++
-				m := missionOn(scene, spec, pipe)
-				m.Wind = uav.NewWind(2, 0.5, 0.8, e.Cfg.Seed+int64(100*rep+si))
-				m.Failures = []uav.TimedFailure{{AtS: 5, Kind: fk, ClearAtS: clearTime(fk)}}
-				out := m.Run()
-				maneuver = out.Maneuver
-				if out.Completed {
-					safe++
-				}
-				if out.Impacted {
-					impacts++
-					if out.Assessment.Severity > worst {
-						worst = out.Assessment.Severity
-					}
+		for _, out := range outs {
+			maneuver = out.Maneuver
+			if out.Completed {
+				safe++
+			}
+			if out.Impacted {
+				impacts++
+				if out.Assessment.Severity > worst {
+					worst = out.Assessment.Severity
 				}
 			}
 		}

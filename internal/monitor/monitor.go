@@ -10,6 +10,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -46,6 +47,21 @@ type Stats struct {
 // mode is restored afterwards, so the wrapped model can keep serving
 // deterministic predictions.
 func (b *Bayesian) MCStats(img *imaging.Image) Stats {
+	st, err := b.MCStatsCtx(context.Background(), img)
+	if err != nil {
+		// Background never cancels; MCStatsCtx has no other error path.
+		panic(fmt.Sprintf("monitor: %v", err))
+	}
+	return st
+}
+
+// MCStatsCtx is MCStats with cooperative cancellation: the context is
+// honored between Monte-Carlo samples and between the network layers inside
+// each sample, so a cancelled trial stops within one layer's work and
+// returns ctx's error. The sample sequence is reseeded per call, so a run
+// that completes is byte-identical whether or not earlier runs were
+// cancelled.
+func (b *Bayesian) MCStatsCtx(ctx context.Context, img *imaging.Image) (Stats, error) {
 	if b.Samples < 2 {
 		panic(fmt.Sprintf("monitor: need at least 2 MC samples, have %d", b.Samples))
 	}
@@ -53,9 +69,14 @@ func (b *Bayesian) MCStats(img *imaging.Image) Stats {
 	defer nn.SetDropoutMode(b.Model.Net, nn.Auto)
 	nn.ReseedDropout(b.Model.Net, b.Seed)
 
+	in := segment.ToTensor(img)
 	var sum, sumSq *nn.Tensor
 	for s := 0; s < b.Samples; s++ {
-		probs := nn.SoftmaxChannels(b.Model.Net.Forward(segment.ToTensor(img), false))
+		out, err := nn.ForwardCtx(ctx, b.Model.Net, in, false)
+		if err != nil {
+			return Stats{}, err
+		}
+		probs := nn.SoftmaxChannels(out)
 		if sum == nil {
 			sum = probs.ZerosLike()
 			sumSq = probs.ZerosLike()
@@ -77,7 +98,7 @@ func (b *Bayesian) MCStats(img *imaging.Image) Stats {
 		}
 		std.Data[i] = float32(math.Sqrt(float64(v)))
 	}
-	return Stats{Mean: mean, Std: std}
+	return Stats{Mean: mean, Std: std}, nil
 }
 
 // Rule is the conservative pixel-safety decision rule of the paper
@@ -142,7 +163,23 @@ type Verdict struct {
 // cropped candidate is verified, because full-frame Bayesian inference is
 // prohibitively slow (Section V-B).
 func (b *Bayesian) VerifyRegion(sub *imaging.Image, rule Rule) Verdict {
-	st := b.MCStats(sub)
+	v, err := b.VerifyRegionCtx(context.Background(), sub, rule)
+	if err != nil {
+		// Background never cancels; a zero Verdict must not masquerade as
+		// a clean monitor pass.
+		panic(fmt.Sprintf("monitor: %v", err))
+	}
+	return v
+}
+
+// VerifyRegionCtx is VerifyRegion with cooperative cancellation: a context
+// cancelled mid-trial aborts the remaining Monte-Carlo samples and returns
+// ctx's error with a zero Verdict.
+func (b *Bayesian) VerifyRegionCtx(ctx context.Context, sub *imaging.Image, rule Rule) (Verdict, error) {
+	st, err := b.MCStatsCtx(ctx, sub)
+	if err != nil {
+		return Verdict{}, err
+	}
 	flags := rule.PixelFlags(st)
 	flagged := flags.CountAbove(0.5)
 	frac := float64(flagged) / float64(sub.W*sub.H)
@@ -168,5 +205,5 @@ func (b *Bayesian) VerifyRegion(sub *imaging.Image, rule Rule) Verdict {
 		FlaggedFraction: frac,
 		MaxScore:        maxScore,
 		Flags:           flags,
-	}
+	}, nil
 }

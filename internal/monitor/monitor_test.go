@@ -1,7 +1,9 @@
 package monitor
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"safeland/internal/imaging"
@@ -260,5 +262,66 @@ func TestEvaluateQualityRanges(t *testing.T) {
 	}
 	if q.String() == "" {
 		t.Error("empty quality string")
+	}
+}
+
+// pollCtx cancels itself after a fixed number of Err polls, so mid-trial
+// cancellation is deterministic regardless of scheduling or timing.
+type pollCtx struct {
+	context.Context
+	polls atomic.Int32
+	limit int32
+}
+
+func (c *pollCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestMCStatsCtxCancelsMidTrial(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 11)
+	b.Samples = 5
+	img := imaging.NewImage(32, 32)
+
+	// Uncancelled ctx variant must match the plain path bit for bit.
+	want := b.MCStats(img)
+	got, err := b.MCStatsCtx(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Mean.Data {
+		if want.Mean.Data[i] != got.Mean.Data[i] || want.Std.Data[i] != got.Std.Data[i] {
+			t.Fatal("MCStatsCtx diverges from MCStats")
+		}
+	}
+
+	// A context dying a few layer-checks in aborts mid-sample: the limit is
+	// far below the polls of a full 5-sample run but inside the first pass.
+	ctx := &pollCtx{Context: context.Background(), limit: 3}
+	if _, err := b.MCStatsCtx(ctx, img); err != context.Canceled {
+		t.Fatalf("mid-trial cancel: err = %v, want context.Canceled", err)
+	}
+	if _, err := b.VerifyRegionCtx(&pollCtx{Context: context.Background(), limit: 3},
+		img, DefaultRule()); err != context.Canceled {
+		t.Fatalf("VerifyRegionCtx cancel: err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation must not leave the model stuck in Monte-Carlo mode or
+	// perturb a subsequent completed run.
+	after := b.MCStats(img)
+	for i := range want.Mean.Data {
+		if want.Mean.Data[i] != after.Mean.Data[i] {
+			t.Fatal("a cancelled trial perturbed the next run's MC sequence")
+		}
+	}
+	det := m.PredictProbs(img)
+	det2 := m.PredictProbs(img)
+	for i := range det.Data {
+		if det.Data[i] != det2.Data[i] {
+			t.Fatal("dropout left always-on after a cancelled trial")
+		}
 	}
 }

@@ -68,6 +68,12 @@ func (p *ParallelConcat) Forward(x *Tensor, train bool) *Tensor {
 	for i, b := range p.Branches {
 		outs[i] = b.Forward(x, train)
 	}
+	return p.concat(outs)
+}
+
+// concat merges branch outputs along the channel dimension, recording the
+// per-branch channel counts for Backward.
+func (p *ParallelConcat) concat(outs []*Tensor) *Tensor {
 	n, _, h, w := outs[0].Dims4()
 	p.branchC = p.branchC[:0]
 	totalC := 0

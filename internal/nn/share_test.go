@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// tinyNet builds a small but representative network: conv, batch norm,
+// ReLU, dropout, and a parallel-concat of two dilated branches.
+func tinyNet(seed int64) Layer {
+	rng := rand.New(rand.NewSource(seed))
+	branch := func(d int) Layer {
+		return NewSequential(
+			NewConv2D("b", 4, 3, 3, 1, d, d, rng),
+			NewBatchNorm2D("b.bn", 3),
+			&ReLU{},
+		)
+	}
+	return NewSequential(
+		NewConv2D("stem", 2, 4, 3, 1, 1, 1, rng),
+		NewBatchNorm2D("stem.bn", 4),
+		&ReLU{},
+		NewDropout(0.5, seed+1),
+		NewParallelConcat(branch(1), branch(2)),
+		NewConv2D("head", 6, 2, 1, 1, 0, 1, rng),
+	)
+}
+
+func TestShareParamsAliasesTensorsAndStats(t *testing.T) {
+	src := tinyNet(1)
+	dst := tinyNet(2)
+	if SharesParams(src, dst) {
+		t.Fatal("independent networks report shared params")
+	}
+	if err := ShareParams(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !SharesParams(src, dst) {
+		t.Fatal("networks do not share params after ShareParams")
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if sp[i].Value != dp[i].Value {
+			t.Fatalf("param %d (%s) not aliased", i, sp[i].Name)
+		}
+		if &sp[i].Value.Data[0] != &dp[i].Value.Data[0] {
+			t.Fatalf("param %d (%s) backing arrays differ", i, sp[i].Name)
+		}
+		if sp[i].Grad == dp[i].Grad {
+			t.Fatalf("param %d (%s) shares its gradient; grads must stay private", i, sp[i].Name)
+		}
+	}
+	var sbn, dbn []*BatchNorm2D
+	Walk(src, func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			sbn = append(sbn, bn)
+		}
+	})
+	Walk(dst, func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			dbn = append(dbn, bn)
+		}
+	})
+	for i := range sbn {
+		if &sbn[i].RunningMean[0] != &dbn[i].RunningMean[0] || &sbn[i].RunningVar[0] != &dbn[i].RunningVar[0] {
+			t.Fatalf("batch-norm %d running stats not aliased", i)
+		}
+	}
+
+	// Shared weights must produce identical inference outputs.
+	x := NewTensor(1, 2, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) * 0.1
+	}
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Error("shared-weight networks diverge on the same input")
+	}
+}
+
+func TestShareParamsRejectsMismatchedArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small := NewSequential(NewConv2D("c", 2, 2, 1, 1, 0, 1, rng))
+	if err := ShareParams(small, tinyNet(1)); err == nil {
+		t.Error("mismatched architectures accepted")
+	}
+}
+
+// pollCtx cancels itself after a fixed number of Err polls, making
+// mid-forward cancellation deterministic regardless of timing.
+type pollCtx struct {
+	context.Context
+	polls atomic.Int32
+	limit int32
+}
+
+func (c *pollCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestForwardCtxMatchesForwardAndCancels(t *testing.T) {
+	net := tinyNet(5)
+	x := NewTensor(1, 2, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%5) * 0.2
+	}
+	want := net.Forward(x, false)
+	got, err := ForwardCtx(context.Background(), net, x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Data, got.Data) {
+		t.Error("ForwardCtx diverges from Forward")
+	}
+
+	// Cancelling after a few layer boundaries must surface ctx.Err and no
+	// tensor; the limit lands mid-net (the tiny net has >3 checkpoints).
+	ctx := &pollCtx{Context: context.Background(), limit: 3}
+	out, err := ForwardCtx(ctx, net, x, false)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("cancelled forward returned a tensor")
+	}
+
+	// An immediately-dead context stops before any layer runs.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ForwardCtx(dead, net, x, false); err != context.Canceled {
+		t.Errorf("dead context: err = %v", err)
+	}
+}

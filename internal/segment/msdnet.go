@@ -6,6 +6,7 @@ package segment
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -55,6 +56,10 @@ func DefaultConfig() Config {
 type Model struct {
 	Net nn.Layer
 	Cfg Config
+
+	// frozen marks a shared-weights clone: its parameters alias another
+	// model's and must never be written. Train rejects frozen models.
+	frozen bool
 }
 
 // New builds an MSDnet with freshly initialized weights.
@@ -145,22 +150,69 @@ func (m *Model) PredictProbs(img *imaging.Image) *nn.Tensor {
 
 // Predict returns the per-pixel argmax segmentation.
 func (m *Model) Predict(img *imaging.Image) *imaging.LabelMap {
-	scores := m.Logits(img)
+	return labelMap(m.Logits(img), img.W, img.H)
+}
+
+// LogitsCtx is Logits with cooperative cancellation: the context is honored
+// between network layers, so a cancelled caller waits for at most one
+// layer's work instead of the full forward pass.
+func (m *Model) LogitsCtx(ctx context.Context, img *imaging.Image) (*nn.Tensor, error) {
+	m.checkEven(img)
+	return nn.ForwardCtx(ctx, m.Net, ToTensor(img), false)
+}
+
+// PredictCtx is Predict with cooperative cancellation; see LogitsCtx.
+func (m *Model) PredictCtx(ctx context.Context, img *imaging.Image) (*imaging.LabelMap, error) {
+	scores, err := m.LogitsCtx(ctx, img)
+	if err != nil {
+		return nil, err
+	}
+	return labelMap(scores, img.W, img.H), nil
+}
+
+func labelMap(scores *nn.Tensor, w, h int) *imaging.LabelMap {
 	am := nn.ArgmaxChannels(scores)[0]
-	out := imaging.NewLabelMap(img.W, img.H)
+	out := imaging.NewLabelMap(w, h)
 	for i, c := range am {
 		out.Pix[i] = imaging.Class(c)
 	}
 	return out
 }
 
-// Clone returns an independent copy of the model: a fresh network of the
-// same architecture with the parameters and batch-norm statistics copied
-// over. Forward passes cache per-layer state, so a model instance must not
-// be shared across goroutines; Clone is how concurrent servers get one
-// replica per worker. Dropout layers are rebuilt from Cfg.Seed, so a
-// reseeded Monte-Carlo sample sequence is identical on every clone.
+// Clone returns a frozen shared-weights replica: a fresh network of the
+// same architecture whose parameter tensors and batch-norm statistics
+// alias the original's, so an N-worker replica pool pays for one copy of
+// the weights instead of N. Forward passes cache per-layer state, so a
+// model instance must not be shared across goroutines; Clone is how
+// concurrent servers get one replica per worker — the mutable caches
+// (ReLU masks, dropout RNGs, batch-norm scratch) are private per clone,
+// only the read-only weights are shared. Dropout layers are rebuilt from
+// Cfg.Seed, so a reseeded Monte-Carlo sample sequence is identical on
+// every clone.
+//
+// Frozen-weights invariant: a clone is inference-only. Train panics on it,
+// and the source model must not be retrained while clones are live — an
+// optimizer step on the shared tensors would race every replica. Use
+// CloneDetached when an independently-trainable copy is needed.
 func (m *Model) Clone() (*Model, error) {
+	c := New(m.Cfg)
+	if err := nn.ShareParams(c.Net, m.Net); err != nil {
+		return nil, fmt.Errorf("cloning model: %w", err)
+	}
+	// A frozen clone can never train (Train panics on it), so the gradient
+	// accumulators New allocated are dead weight — dropping them is what
+	// actually brings an N-worker pool down to one param-sized footprint.
+	for _, p := range c.Net.Params() {
+		p.Grad = nil
+	}
+	c.frozen = true
+	return c, nil
+}
+
+// CloneDetached returns a deep copy with its own parameter memory: the
+// parameters and batch-norm statistics are serialized out of the original
+// and poured into a fresh network. Unlike Clone, the result is trainable.
+func (m *Model) CloneDetached() (*Model, error) {
 	var buf bytes.Buffer
 	if err := nn.SaveParams(&buf, m.Net); err != nil {
 		return nil, fmt.Errorf("cloning model: %w", err)
@@ -171,6 +223,10 @@ func (m *Model) Clone() (*Model, error) {
 	}
 	return c, nil
 }
+
+// Frozen reports whether this model is a shared-weights clone whose
+// parameters must not be written.
+func (m *Model) Frozen() bool { return m.frozen }
 
 // Save writes the model parameters to path.
 func (m *Model) Save(path string) error {

@@ -1,8 +1,10 @@
 package segment
 
 import (
+	"context"
 	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"safeland/internal/imaging"
@@ -229,5 +231,98 @@ func TestMCDropoutVariesPredictions(t *testing.T) {
 	}
 	if diff == 0 {
 		t.Fatal("MC dropout produced identical samples")
+	}
+}
+
+func TestCloneSharesFrozenWeights(t *testing.T) {
+	scenes := tinyScenes(t, 1)
+	m := New(tinyConfig())
+	Train(m, scenes, TrainConfig{Steps: 4, Batch: 1, CropSize: 48, LR: 0.01, Seed: 2})
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Frozen() || m.Frozen() {
+		t.Fatalf("frozen flags: clone %v source %v, want true/false", c.Frozen(), m.Frozen())
+	}
+	if !nn.SharesParams(m.Net, c.Net) {
+		t.Fatal("clone does not alias the source parameter tensors")
+	}
+	mp, cp := m.Net.Params(), c.Net.Params()
+	for i := range mp {
+		if &mp[i].Value.Data[0] != &cp[i].Value.Data[0] {
+			t.Fatalf("param %d (%s) copied instead of shared", i, mp[i].Name)
+		}
+		if cp[i].Grad != nil {
+			t.Fatalf("param %d (%s) keeps a gradient accumulator on a frozen clone", i, mp[i].Name)
+		}
+		if mp[i].Grad == nil {
+			t.Fatalf("param %d (%s) lost the source model's gradient", i, mp[i].Name)
+		}
+	}
+	a := m.PredictProbs(scenes[0].Image)
+	b := c.PredictProbs(scenes[0].Image)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("shared-weights clone predicts differently")
+		}
+	}
+
+	// The frozen invariant is enforced: training a clone must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when training a frozen clone")
+		}
+	}()
+	Train(c, scenes, TrainConfig{Steps: 1, Batch: 1, CropSize: 48, LR: 0.01, Seed: 2})
+}
+
+func TestCloneDetachedIsIndependent(t *testing.T) {
+	scenes := tinyScenes(t, 1)
+	m := New(tinyConfig())
+	Train(m, scenes, TrainConfig{Steps: 4, Batch: 1, CropSize: 48, LR: 0.01, Seed: 2})
+	c, err := m.CloneDetached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Frozen() {
+		t.Fatal("detached clone reports frozen")
+	}
+	if nn.SharesParams(m.Net, c.Net) {
+		t.Fatal("detached clone aliases the source weights")
+	}
+	a := m.PredictProbs(scenes[0].Image)
+	b := c.PredictProbs(scenes[0].Image)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("detached clone predicts differently")
+		}
+	}
+	// Training the detached copy must leave the source untouched.
+	before := m.Net.Params()[0].Value.Clone()
+	Train(c, scenes, TrainConfig{Steps: 2, Batch: 1, CropSize: 48, LR: 0.01, Seed: 3})
+	after := m.Net.Params()[0].Value
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("training a detached clone mutated the source model")
+		}
+	}
+}
+
+func TestPredictCtxMatchesPredictAndCancels(t *testing.T) {
+	m := New(tinyConfig())
+	scene := tinyScenes(t, 1)[0]
+	want := m.Predict(scene.Image)
+	got, err := m.PredictCtx(context.Background(), scene.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Pix, got.Pix) {
+		t.Error("PredictCtx diverges from Predict")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.PredictCtx(ctx, scene.Image); err != context.Canceled {
+		t.Errorf("cancelled PredictCtx err = %v", err)
 	}
 }

@@ -63,6 +63,9 @@ type TrainStats struct {
 // Train fits the model on random crops drawn from the scenes. Identical
 // inputs and seeds produce identical parameters.
 func Train(m *Model, scenes []*urban.Scene, cfg TrainConfig) TrainStats {
+	if m.Frozen() {
+		panic("segment: training a frozen shared-weights clone would corrupt every replica sharing its parameters; train the source model (or a CloneDetached copy) instead")
+	}
 	if len(scenes) == 0 {
 		panic("segment: no training scenes")
 	}

@@ -139,10 +139,12 @@ func (s *System) Save(path string) error {
 }
 
 // Replica returns an independent copy of the system sharing no mutable
-// state with the original: the model parameters and batch-norm statistics
-// are duplicated into a fresh network, and the monitor seed carries over
-// so Monte-Carlo verdicts stay identical. This is how the Engine gives
-// each worker a private perception stack.
+// state with the original: the replica's network has private per-layer
+// caches and dropout RNGs, while its parameters and batch-norm statistics
+// alias the original's read-only tensors (the frozen-weights invariant of
+// segment.Model.Clone — a replica pool pays for one copy of the weights).
+// The monitor seed carries over so Monte-Carlo verdicts stay identical.
+// This is how the Engine gives each worker a private perception stack.
 func (s *System) Replica() (*System, error) {
 	m, err := s.Pipeline.Model.Clone()
 	if err != nil {

@@ -16,9 +16,13 @@ import (
 // implementations may keep per-instance scratch state but must not share
 // mutable state between instances.
 //
-// Select must honor ctx promptly where it can; backends built on the
-// monolithic perception pipeline run each request to completion and rely
-// on the Engine to fail fast on requests that are cancelled while queued.
+// Select should honor ctx promptly where the work is long enough to
+// matter: the perception-backed backends (pipeline, hybrid) thread the
+// context through the segmentation forward pass and every Monte-Carlo
+// monitor trial, so a cancelled request stops within one network layer's
+// work and returns ctx's error. The cheap geometric baselines run their
+// window scans to completion and rely on the Engine failing fast on
+// requests that are cancelled while still queued.
 type Selector interface {
 	// Name identifies the backend in response metadata and logs.
 	Name() string
@@ -70,14 +74,14 @@ type pipelineSelector struct{ pipe *core.Pipeline }
 
 func (s *pipelineSelector) Name() string { return "msdnet-monitor" }
 
-func (s *pipelineSelector) Select(_ context.Context, req SelectRequest) (core.Result, error) {
+func (s *pipelineSelector) Select(ctx context.Context, req SelectRequest) (core.Result, error) {
 	img, mpp, err := req.frame()
 	if err != nil {
 		return core.Result{}, err
 	}
 	zones := s.pipe.Zones
 	zones.HomeX, zones.HomeY = req.HomeX, req.HomeY
-	return s.pipe.SelectWithConfig(img, mpp, zones), nil
+	return s.pipe.SelectWithConfigCtx(ctx, img, mpp, zones)
 }
 
 // HybridSelector returns the GIS-fused backend: vision candidates filtered
@@ -97,13 +101,13 @@ type hybridSelector struct{ h *core.Hybrid }
 
 func (s *hybridSelector) Name() string { return "hybrid-gis" }
 
-func (s *hybridSelector) Select(_ context.Context, req SelectRequest) (core.Result, error) {
+func (s *hybridSelector) Select(ctx context.Context, req SelectRequest) (core.Result, error) {
 	if req.Scene == nil {
 		return core.Result{}, fmt.Errorf("safeland: %s selector requires SelectRequest.Scene", s.Name())
 	}
 	zones := s.h.Pipeline.Zones
 	zones.HomeX, zones.HomeY = req.HomeX, req.HomeY
-	return s.h.SelectWithConfig(req.Scene, zones), nil
+	return s.h.SelectWithConfigCtx(ctx, req.Scene, zones)
 }
 
 // BaselineSelector adapts one of the internal/baseline survey methods
