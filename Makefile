@@ -1,11 +1,12 @@
 # Developer workflow for the safeland reproduction.
 #
-#   make check   # tier-1 gate + race detector over the concurrent paths
-#   make bench   # experiment benchmarks; fleet numbers land in BENCH_experiments.json
+#   make check      # tier-1 gate + race detector (shuffled) over the concurrent paths
+#   make bench      # benchmarks; engine + fleet numbers land in BENCH_*.json
+#   make fuzz-smoke # a few seconds of each fuzz target
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-experiments bench
+.PHONY: check fmt vet build test race race-experiments bench fuzz-smoke
 
 check: fmt vet build race
 
@@ -23,23 +24,35 @@ test:
 	$(GO) test ./...
 
 # The Engine serves requests concurrently over per-worker model replicas,
-# and the experiment fleets (E5, E7-E10) fan scenes out across that pool;
-# every change to those paths must survive the race detector. The race
-# instrumentation slows the training fixtures by an order of magnitude,
-# hence the generous timeout.
+# the experiment fleets (E5, E7-E10) stream scenes through that pool from
+# the shared scenario corpus, and the corpus itself dedups concurrent
+# generation; every change to those paths must survive the race detector.
+# -shuffle=on keeps test-order coupling from hiding behind fixture reuse.
+# The race instrumentation slows the training fixtures by an order of
+# magnitude, hence the generous timeout.
 race:
-	$(GO) test -race -timeout 120m ./...
+	$(GO) test -race -shuffle=on -timeout 120m ./...
 
 # Focused loop for fleet work: vet plus the quick-config experiment fleets
 # (parity, cancellation, full E-suite) under the race detector, without
 # paying for the whole repo's race sweep.
 race-experiments:
-	$(GO) vet ./internal/experiments
-	$(GO) test -race -timeout 120m ./internal/experiments
+	$(GO) vet ./internal/experiments ./internal/scenario
+	$(GO) test -race -timeout 120m ./internal/experiments ./internal/scenario
 
-# One pass over every benchmark; the experiment-fleet scaling curve
-# (BenchmarkExperimentE8Workers{1,4,8}) is captured as test2json events in
-# BENCH_experiments.json for machine consumption.
+# One pass over every benchmark, split so nothing runs twice: the
+# paper-artifact benchmarks (BenchmarkE1..E10*) print human-readably, the
+# Engine batch scaling curve (BenchmarkEngineBatch{1,4,8}Workers) lands in
+# BENCH_engine.json and the experiment-fleet curve
+# (BenchmarkExperimentE8Workers{1,4,8}) in BENCH_experiments.json as
+# test2json events, so the perf trajectory is tracked per-PR.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench='^BenchmarkE[0-9]' -benchtime=1x -run=^$$ .
+	$(GO) test -bench=BenchmarkEngineBatch -benchtime=1x -run=^$$ -json . > BENCH_engine.json
 	$(GO) test -bench=BenchmarkExperiment -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
+
+# A few seconds of coverage-guided input generation per fuzz target — the
+# cheap regression pass; leave the long campaigns to dedicated runs.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzZoneSelection -fuzztime=5s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzSpecKey -fuzztime=5s ./internal/scenario

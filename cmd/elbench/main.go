@@ -1,14 +1,17 @@
 // Command elbench regenerates every table and figure of the paper
 // (experiments E1–E10, see DESIGN.md). The model-dependent experiments
-// (E5, E7–E10) run as scenario fleets over the safeland.Engine worker
-// pool; -workers sizes the pool without changing any reported number
+// (E5, E7–E10) run as scenario fleets streamed through the safeland.Engine
+// worker pool, drawing every scene from the shared content-addressed
+// corpus; -workers sizes the pool without changing any reported number
 // (per-scene seeding keeps fleet output byte-identical across worker
-// counts). Typical use:
+// counts), and -scenecache persists the corpus on disk so repeated runs
+// skip scene generation entirely. Typical use:
 //
 //	elbench                 # run everything at full scale
 //	elbench -run E7,E9      # run selected experiments
 //	elbench -quick          # smoke-test scale
 //	elbench -workers 8      # wider Engine pool for the fleets
+//	elbench -scenecache /tmp/scenes   # on-disk scene corpus across runs
 //	elbench -out results.txt
 package main
 
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"safeland/internal/experiments"
+	"safeland/internal/scenario"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPth  = fs.String("out", "", "also write output to this file")
 		seed    = fs.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
 		workers = fs.Int("workers", 0, "Engine worker-pool size for the experiment fleets (0 = auto)")
+		cache   = fs.String("scenecache", "", "directory for the on-disk scene corpus (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -66,8 +71,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	env := experiments.NewEnv(cfg, stderr)
+	if *cache != "" {
+		env.Corpus = scenario.NewDiskCorpus(*cache)
+	}
 	fmt.Fprintf(w, "safeland experiment suite — seed %d, scale %s, %d fleet workers\n",
 		cfg.Seed, scaleName(*quick), env.Workers())
+	defer func() {
+		st := env.Corpus.Stats()
+		fmt.Fprintf(stderr, "[corpus] %d scenes generated, %d cache hits, %d disk hits\n",
+			st.Generated, st.Hits, st.DiskHits)
+	}()
 
 	if *runIDs == "all" {
 		if err := experiments.RunAll(env, w); err != nil {

@@ -346,6 +346,35 @@ func (e *Engine) Serve(ctx context.Context, in <-chan SelectRequest) <-chan Sele
 	return out
 }
 
+// Gather drains a Serve output channel into a slice ordered by request
+// index: response i is the response to the i-th streamed request,
+// restoring SelectBatch's positional contract on the streaming path. n
+// sizes the result when the caller knows how many requests were streamed
+// (pass 0 when unknown); the slice grows to fit whatever arrives. Gather
+// returns when out closes, so it also performs the post-cancellation drain
+// Serve requires of its callers. Slots whose requests never produced a
+// response — dropped by cancellation before Serve dequeued them — carry
+// ErrNoResponse; callers holding the cancelled context can translate those
+// to its error (scenario.Corpus.ServeOrdered does).
+func Gather(out <-chan SelectResponse, n int) []SelectResponse {
+	resps := make([]SelectResponse, n)
+	for i := range resps {
+		resps[i] = SelectResponse{Index: i, Err: ErrNoResponse}
+	}
+	for resp := range out {
+		for resp.Index >= len(resps) {
+			resps = append(resps, SelectResponse{Index: len(resps), Err: ErrNoResponse})
+		}
+		resps[resp.Index] = resp
+	}
+	return resps
+}
+
+// ErrNoResponse marks Gather slots never filled by a response — a request
+// dropped (typically by cancellation) before Serve dequeued it. Match it
+// with errors.Is to distinguish an unserved request from a served failure.
+var ErrNoResponse = fmt.Errorf("safeland: no response delivered for this request")
+
 // PlanLanding implements uav.LandingPlanner, so an Engine drops straight
 // into the mission simulator's safety switch: the request is built from
 // the scene under the vehicle with the current position as the home bias.

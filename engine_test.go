@@ -2,6 +2,7 @@ package safeland
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync/atomic"
@@ -426,7 +427,7 @@ func TestEngineBatchMatchesSequential(t *testing.T) {
 	for i := 0; i < n; i++ {
 		scene := urban.Generate(cfg, urban.DefaultConditions(), 100+int64(i))
 		reqs[i] = SelectRequest{Image: scene.Image, MPP: scene.MPP}
-		seq[i] = sys.SelectLandingZone(scene.Image, scene.MPP)
+		seq[i] = sys.Pipeline.SelectAndVerify(scene.Image, scene.MPP)
 	}
 
 	eng, err := NewEngine(WithSystem(sys), WithWorkers(4))
@@ -442,6 +443,93 @@ func TestEngineBatchMatchesSequential(t *testing.T) {
 			t.Errorf("scene %d diverged from sequential run:\n  batch: %s\n  seq  : %s",
 				i, describeForDiff(resp.Result), describeForDiff(seq[i]))
 		}
+	}
+}
+
+// TestServeMatchesSelectBatch is the streaming-parity acceptance check: a
+// request stream served through Serve must reproduce SelectBatch bit for
+// bit, request for request, at 1 worker and at a full pool — the property
+// that lets the experiment fleets move to the pipelined path without any
+// report drifting.
+func TestServeMatchesSelectBatch(t *testing.T) {
+	sys := quickSystem(t)
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+	const n = 6
+	reqs := make([]SelectRequest, n)
+	for i := range reqs {
+		scene := urban.Generate(cfg, urban.DefaultConditions(), 700+int64(i))
+		reqs[i] = SelectRequest{Image: scene.Image, MPP: scene.MPP}
+	}
+
+	refEng, err := NewEngine(WithSystem(sys), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refEng.SelectBatch(context.Background(), reqs)
+
+	for _, workers := range []int{1, 4} {
+		eng, err := NewEngine(WithSystem(sys), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan SelectRequest)
+		go func() {
+			defer close(in)
+			for _, req := range reqs {
+				in <- req
+			}
+		}()
+		resps := Gather(eng.Serve(context.Background(), in), n)
+		if len(resps) != n {
+			t.Fatalf("%d workers: gathered %d responses, want %d", workers, len(resps), n)
+		}
+		for i, resp := range resps {
+			if resp.Err != nil {
+				t.Fatalf("%d workers, request %d: %v", workers, i, resp.Err)
+			}
+			if resp.Index != i {
+				t.Fatalf("%d workers: slot %d holds index %d", workers, i, resp.Index)
+			}
+			if !reflect.DeepEqual(resp.Result, ref[i].Result) {
+				t.Errorf("%d workers, request %d diverged from SelectBatch:\n  serve: %s\n  batch: %s",
+					workers, i, describeForDiff(resp.Result), describeForDiff(ref[i].Result))
+			}
+		}
+	}
+}
+
+// TestGatherMarksMissingResponses pins Gather's post-cancellation
+// contract: slots whose requests never produced a response carry an error
+// instead of a zero value masquerading as success.
+func TestGatherMarksMissingResponses(t *testing.T) {
+	out := make(chan SelectResponse, 1)
+	out <- SelectResponse{Index: 2, Selector: "stub"}
+	close(out)
+	resps := Gather(out, 4)
+	if len(resps) != 4 {
+		t.Fatalf("gathered %d slots, want 4", len(resps))
+	}
+	for i, resp := range resps {
+		if resp.Index != i {
+			t.Errorf("slot %d holds index %d", i, resp.Index)
+		}
+		if i == 2 {
+			if resp.Err != nil {
+				t.Errorf("delivered slot carries error %v", resp.Err)
+			}
+			continue
+		}
+		if !errors.Is(resp.Err, ErrNoResponse) {
+			t.Errorf("undelivered slot %d carries %v, want ErrNoResponse", i, resp.Err)
+		}
+	}
+	// Responses beyond n grow the slice.
+	out2 := make(chan SelectResponse, 1)
+	out2 <- SelectResponse{Index: 3}
+	close(out2)
+	if got := Gather(out2, 0); len(got) != 4 || got[3].Err != nil || got[0].Err == nil {
+		t.Errorf("growth path wrong: %+v", got)
 	}
 }
 

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"safeland/internal/imaging"
+)
+
+// FuzzZoneSelection fuzzes the Table III integrity criteria over arbitrary
+// predicted segmentations: whatever the labels, the zone geometry and the
+// configured thresholds, every candidate Candidates returns must keep the
+// parachute-drift buffer to the nearest predicted busy-road pixel and a
+// landable-surface majority — recomputed here by brute force, independent
+// of the distance transform and integral image the selector uses.
+func FuzzZoneSelection(f *testing.F) {
+	f.Add(int64(1), uint8(48), uint8(48), 12.0, 15.0, 0.85, 0.15)
+	f.Add(int64(2021), uint8(64), uint8(32), 8.0, 4.0, 0.5, 0.4)
+	f.Add(int64(7), uint8(24), uint8(80), 20.0, 0.5, 0.95, 0.05)
+	f.Add(int64(-9), uint8(16), uint8(16), 3.0, 25.0, 0.3, 0.8)
+	f.Fuzz(func(t *testing.T, seed int64, w8, h8 uint8, zoneM, bufferM, minSafe, roadDensity float64) {
+		w := 16 + int(w8)%65
+		h := 16 + int(h8)%65
+		const mpp = 0.5
+		zoneM = clampFinite(zoneM, 2, 30)
+		bufferM = clampFinite(bufferM, 0.1, 25)
+		minSafe = clampFinite(minSafe, 0.2, 1)
+		roadDensity = clampFinite(roadDensity, 0, 0.9)
+
+		// An adversarial "prediction": random per-pixel classes at the
+		// fuzzed road density plus a few coherent road strips, the worst of
+		// speckle noise and real street geometry.
+		rng := rand.New(rand.NewSource(seed))
+		pred := imaging.NewLabelMap(w, h)
+		classes := []imaging.Class{
+			imaging.Clutter, imaging.Building, imaging.Tree,
+			imaging.LowVegetation, imaging.Humans,
+		}
+		roadish := []imaging.Class{imaging.Road, imaging.StaticCar, imaging.MovingCar}
+		for i := range pred.Pix {
+			if rng.Float64() < roadDensity {
+				pred.Pix[i] = roadish[rng.Intn(len(roadish))]
+			} else {
+				pred.Pix[i] = classes[rng.Intn(len(classes))]
+			}
+		}
+		for s := 0; s < rng.Intn(3); s++ {
+			y := rng.Intn(h)
+			for x := 0; x < w; x++ {
+				pred.Pix[y*w+x] = imaging.Road
+			}
+		}
+
+		cfg := ZoneConfig{
+			ZoneSizeM:       zoneM,
+			BufferM:         bufferM,
+			MinSafeFraction: minSafe,
+			MaxCandidates:   8,
+		}
+		cands := Candidates(pred, mpp, cfg)
+
+		var roads [][2]int
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if pred.At(x, y).BusyRoad() {
+					roads = append(roads, [2]int{x, y})
+				}
+			}
+		}
+		bufferPx := bufferM / mpp
+		for ci, c := range cands {
+			if c.X0 < 0 || c.Y0 < 0 || c.X0+c.SizePx > w || c.Y0+c.SizePx > h {
+				t.Fatalf("candidate %d out of bounds: %+v in %dx%d", ci, c, w, h)
+			}
+			landable := 0
+			for y := c.Y0; y < c.Y0+c.SizePx; y++ {
+				for x := c.X0; x < c.X0+c.SizePx; x++ {
+					cl := pred.At(x, y)
+					if cl.BusyRoad() {
+						t.Fatalf("candidate %d contains predicted busy-road pixel (%d,%d)", ci, x, y)
+					}
+					if cl == imaging.LowVegetation || cl == imaging.Clutter {
+						landable++
+					}
+				}
+			}
+			// The zone is a full pixel rectangle, so the min distance from
+			// any zone pixel to a road pixel is the road pixel's distance
+			// to its clamped projection onto the rectangle — O(roads)
+			// instead of O(zonePixels × roads).
+			minDist := math.Inf(1)
+			for _, r := range roads {
+				nx := clampInt(r[0], c.X0, c.X0+c.SizePx-1)
+				ny := clampInt(r[1], c.Y0, c.Y0+c.SizePx-1)
+				d := math.Hypot(float64(r[0]-nx), float64(r[1]-ny))
+				if d < minDist {
+					minDist = d
+				}
+			}
+			if len(roads) > 0 && minDist < bufferPx-1e-3 {
+				t.Fatalf("candidate %d violates the drift buffer: %.3f px to road, need %.3f px (%.1f m)",
+					ci, minDist, bufferPx, bufferM)
+			}
+			frac := float64(landable) / float64(c.SizePx*c.SizePx)
+			if frac < minSafe-1e-3 {
+				t.Fatalf("candidate %d violates the landable majority: %.4f < %.4f", ci, frac, minSafe)
+			}
+			// The reported metrics must agree with the recomputation.
+			if math.Abs(frac-c.SafeFraction) > 1e-3 {
+				t.Fatalf("candidate %d reports safe fraction %.4f, truth %.4f", ci, c.SafeFraction, frac)
+			}
+		}
+	})
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFinite(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -10,6 +10,7 @@ import (
 	"safeland/internal/hazard"
 	"safeland/internal/imaging"
 	"safeland/internal/riskmap"
+	"safeland/internal/scenario"
 	"safeland/internal/uav"
 	"safeland/internal/urban"
 )
@@ -21,11 +22,15 @@ import (
 //
 // Every strategy — the monitored pipeline, the GIS hybrid, and each survey
 // baseline — runs as a Selector backend behind a safeland.Engine, and its
-// scenes fan out through SelectBatch over the configured worker pool.
+// scenes stream out of the shared scenario corpus through Engine.Serve
+// over the configured worker pool: the first strategy's fleet generates
+// each scene just ahead of its selection, and every later strategy (and
+// every later E8 run in the process) serves the same scenes from cache.
 // Per-scene wind seeds and the monitor's per-call reseeding make the
-// report byte-identical whatever the worker count.
+// report byte-identical whatever the worker count, and identical between
+// the streaming and materialized-batch paths.
 func RunE8(e *Env, w io.Writer) error {
-	scenes := urban.GenerateSet(e.SceneConfig(), urban.DefaultConditions(), e.Cfg.CompareScenes, e.Cfg.Seed+80)
+	specs := scenario.Set(e.SceneConfig(), urban.DefaultConditions(), e.Cfg.CompareScenes, e.Cfg.Seed+80)
 	spec := uav.MediDelivery()
 
 	// Train the tile classifier baseline on the shared training split.
@@ -51,13 +56,8 @@ func RunE8(e *Env, w io.Writer) error {
 		{"uncontrolled FT (parachute)", safeland.BaselineSelector(sceneCenterSelector{}), spec.CruiseAltM},
 	}
 
-	reqs := make([]safeland.SelectRequest, len(scenes))
-	for i, s := range scenes {
-		reqs[i] = safeland.SelectRequest{Scene: s, HomeX: s.Layout.WorldW / 2, HomeY: s.Layout.WorldH / 2}
-	}
-
-	fmt.Fprintf(w, "%d emergency scenes, rush hour, wind 2 m/s with gusts.\n", len(scenes))
-	fmt.Fprintln(w, "Each strategy serves the scene fleet through Engine.SelectBatch; zone-selection")
+	fmt.Fprintf(w, "%d emergency scenes, rush hour, wind 2 m/s with gusts.\n", len(specs))
+	fmt.Fprintln(w, "Each strategy serves the scene fleet by streaming it through Engine.Serve; zone-selection")
 	fmt.Fprintln(w, "quality is scored over the scenes where the method commits to a zone; a refusal")
 	fmt.Fprintln(w, "falls back to flight termination from cruise altitude (identical for every")
 	fmt.Fprintln(w, "method), accounted separately below.")
@@ -83,7 +83,7 @@ func RunE8(e *Env, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("E8 %s: %w", meth.name, err)
 		}
-		resps := eng.SelectBatch(context.Background(), reqs)
+		resps := e.Fleet(context.Background(), eng, specs, scenario.SceneRequest)
 
 		var picked, roadHits, severe int
 		var expFatal float64
@@ -95,7 +95,8 @@ func RunE8(e *Env, w io.Writer) error {
 			if !resp.Result.Confirmed {
 				continue
 			}
-			s := scenes[si]
+			// Cache hit: the fleet's stream already generated this scene.
+			s := e.Corpus.Scene(specs[si])
 			x, y := resp.Result.Zone.CenterM(s.MPP)
 			picked++
 			a, surface := assessAt(s, x, y, meth.deployAlt, e.Cfg.Seed+int64(si))
@@ -111,12 +112,12 @@ func RunE8(e *Env, w io.Writer) error {
 			}
 		}
 		if picked == 0 {
-			fmt.Fprintf(w, "  %-30s %5d/%-2d %10s\n", meth.name, 0, len(scenes), "-")
+			fmt.Fprintf(w, "  %-30s %5d/%-2d %10s\n", meth.name, 0, len(specs), "-")
 			continue
 		}
 		n := float64(picked)
 		fmt.Fprintf(w, "  %-30s %5d/%-2d %9.0f%% %12.4f %12s %9.0f%%\n",
-			meth.name, picked, len(scenes), 100*float64(roadHits)/n, expFatal/n, worst, 100*float64(severe)/n)
+			meth.name, picked, len(specs), 100*float64(roadHits)/n, expFatal/n, worst, 100*float64(severe)/n)
 	}
 
 	// The refusal fallback, common to all monitored methods: FT at the
@@ -124,7 +125,7 @@ func RunE8(e *Env, w io.Writer) error {
 	var fbFatal float64
 	var fbRoad int
 	fbWorst := hazard.Negligible
-	for si, s := range scenes {
+	for si, s := range e.Corpus.Scenes(specs) {
 		a, surface := assessAt(s, s.Layout.WorldW/2, s.Layout.WorldH/2, spec.CruiseAltM, e.Cfg.Seed+int64(si))
 		fbFatal += a.ExpectedFatalities
 		if surface.BusyRoad() {
@@ -134,9 +135,9 @@ func RunE8(e *Env, w io.Writer) error {
 			fbWorst = a.Severity
 		}
 	}
-	n := float64(len(scenes))
+	n := float64(len(specs))
 	fmt.Fprintf(w, "  %-30s %5s/%-2d %9.0f%% %12.4f %12s\n",
-		"(refusal fallback: FT@cruise)", "-", len(scenes), 100*float64(fbRoad)/n, fbFatal/n, fbWorst)
+		"(refusal fallback: FT@cruise)", "-", len(specs), 100*float64(fbRoad)/n, fbFatal/n, fbWorst)
 
 	fmt.Fprintln(w, "\nExpected shape: when EL commits it avoids busy roads; the geometry-only")
 	fmt.Fprintln(w, "vision baselines (edges, flatness, tiles) sometimes select roads/parking —")

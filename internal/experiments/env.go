@@ -6,15 +6,22 @@
 // sub-image timing argument, and the monitor ablations.
 //
 // The model-dependent experiments (E5, E7–E10) run as scenario fleets over
-// a safeland.Engine: scenes fan out through SelectBatch (or missions share
-// the Engine as their landing planner) across Config.Workers worker
-// replicas that alias one frozen copy of the trained weights. Per-scene
-// seeding plus the monitor's per-call reseeding keep every report
-// byte-identical to a sequential run, whatever the worker count — the
-// parity pinned by TestE8ParallelMatchesSequential.
+// a safeland.Engine: scene requests stream through Engine.Serve (or
+// missions share the Engine as their landing planner) across
+// Config.Workers worker replicas that alias one frozen copy of the trained
+// weights. Scenes come from the shared internal/scenario corpus — every
+// Env in the process draws its dataset and fleet scenes from one
+// content-addressed cache, so repeated Envs and repeated experiment runs
+// reuse scenes instead of regenerating them, and Corpus.Stream overlaps
+// the generation of scene i+1 with the perception work on scene i.
+// Per-scene seeding plus the monitor's per-call reseeding keep every
+// report byte-identical to a sequential SelectBatch run, whatever the
+// worker count — the parity pinned by TestE8ParallelMatchesSequential and
+// TestExperimentsStreamMatchesBatch.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -22,6 +29,7 @@ import (
 	"safeland"
 	"safeland/internal/core"
 	"safeland/internal/monitor"
+	"safeland/internal/scenario"
 	"safeland/internal/segment"
 	"safeland/internal/uav"
 	"safeland/internal/urban"
@@ -97,8 +105,19 @@ type Env struct {
 	Cfg Config
 	Log io.Writer
 
+	// Corpus is the scene cache every generated scene goes through.
+	// NewEnv wires the process-wide scenario.Shared() corpus, so scene
+	// and dataset generation is shared across Envs; override it (before
+	// first use) to isolate an Env or to add an on-disk layer.
+	Corpus *scenario.Corpus
+
+	// batchFleet forces Fleet onto the materialized SelectBatch path; the
+	// streaming/batch parity tests flip it to pin byte-identical reports.
+	batchFleet bool
+
 	dsOnce    sync.Once
 	dataset   *urban.Dataset
+	dsSpecs   struct{ train, test, ood []scenario.Spec }
 	modelOnce sync.Once
 	model     *segment.Model
 	pipeOnce  sync.Once
@@ -110,7 +129,7 @@ func NewEnv(cfg Config, log io.Writer) *Env {
 	if log == nil {
 		log = io.Discard
 	}
-	return &Env{Cfg: cfg, Log: log}
+	return &Env{Cfg: cfg, Log: log, Corpus: scenario.Shared()}
 }
 
 // SceneConfig returns the generator settings for this environment.
@@ -120,16 +139,55 @@ func (e *Env) SceneConfig() urban.Config {
 	return cfg
 }
 
-// Dataset returns the shared train/test/OOD split, generating it on first
-// use.
+// Dataset returns the shared train/test/OOD split, resolving it through
+// the scene corpus on first use. The specs mirror urban.BuildDataset's
+// seeding exactly (baseSeed, +1000, +2000), so the split is byte-identical
+// to a direct build — but a second Env with the same configuration serves
+// every scene from cache instead of regenerating the dataset.
 func (e *Env) Dataset() *urban.Dataset {
 	e.dsOnce.Do(func() {
-		fmt.Fprintf(e.Log, "[env] generating dataset: %d train, %d test, %d OOD scenes (%dpx)\n",
+		fmt.Fprintf(e.Log, "[env] resolving dataset: %d train, %d test, %d OOD scenes (%dpx) via scene corpus\n",
 			e.Cfg.TrainScenes, e.Cfg.TestScenes, e.Cfg.OODScenes, e.Cfg.SceneSize)
-		e.dataset = urban.BuildDataset(e.SceneConfig(), urban.DefaultConditions(),
-			urban.SunsetConditions(), e.Cfg.TrainScenes, e.Cfg.TestScenes, e.Cfg.OODScenes, e.Cfg.Seed)
+		cfg := e.SceneConfig()
+		e.dsSpecs.train = scenario.Set(cfg, urban.DefaultConditions(), e.Cfg.TrainScenes, e.Cfg.Seed)
+		e.dsSpecs.test = scenario.Set(cfg, urban.DefaultConditions(), e.Cfg.TestScenes, e.Cfg.Seed+1_000)
+		e.dsSpecs.ood = scenario.Set(cfg, urban.SunsetConditions(), e.Cfg.OODScenes, e.Cfg.Seed+2_000)
+		e.dataset = &urban.Dataset{
+			Train: e.Corpus.Scenes(e.dsSpecs.train),
+			Test:  e.Corpus.Scenes(e.dsSpecs.test),
+			OOD:   e.Corpus.Scenes(e.dsSpecs.ood),
+		}
 	})
 	return e.dataset
+}
+
+// datasetSpecs returns the corpus specs behind the dataset split, building
+// the dataset if needed — how the fleets re-stream the held-out scenes
+// without regenerating them.
+func (e *Env) datasetSpecs() (train, test, ood []scenario.Spec) {
+	e.Dataset()
+	return e.dsSpecs.train, e.dsSpecs.test, e.dsSpecs.ood
+}
+
+// Fleet serves one request per spec through the engine and returns the
+// responses ordered by spec index. The default path is the streaming one:
+// scenes flow out of the corpus through Corpus.Stream into Engine.Serve as
+// they are generated (or found cached), so scene synthesis overlaps
+// perception. The batchFleet test hook materializes every scene first and
+// calls SelectBatch — the pre-streaming layout — which the parity tests
+// pin byte-identical to the streamed reports.
+func (e *Env) Fleet(ctx context.Context, eng *safeland.Engine, specs []scenario.Spec, build scenario.BuildRequest) []safeland.SelectResponse {
+	if e.batchFleet {
+		if build == nil {
+			build = scenario.SceneRequest
+		}
+		reqs := make([]safeland.SelectRequest, len(specs))
+		for i, s := range e.Corpus.Scenes(specs) {
+			reqs[i] = build(i, s)
+		}
+		return eng.SelectBatch(ctx, reqs)
+	}
+	return e.Corpus.ServeOrdered(ctx, eng, specs, build)
 }
 
 // Model returns the shared trained MSDnet, training it on first use.

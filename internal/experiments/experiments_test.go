@@ -3,12 +3,14 @@ package experiments
 import (
 	"bytes"
 	"io"
+	"regexp"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"safeland/internal/nn"
+	"safeland/internal/scenario"
 )
 
 var sharedEnv struct {
@@ -169,6 +171,112 @@ func TestE8ParallelMatchesSequential(t *testing.T) {
 	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
 		t.Errorf("E8 report diverges between 1 and 4 workers:\n--- sequential ---\n%s\n--- 4 workers ---\n%s",
 			seq.String(), par.String())
+	}
+}
+
+// TestExperimentsStreamMatchesBatch is the streaming-migration acceptance
+// check at the experiments layer: the E8 and E9 reports produced by
+// streaming scene fleets through Corpus.Stream + Engine.Serve must be
+// byte-identical to the materialized SelectBatch path, at 1 worker and at
+// a pool (E9's wall-clock lines are masked — they measure, not report,
+// determinism).
+func TestExperimentsStreamMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	restoreWorkers, restoreBatch := env.Cfg.Workers, env.batchFleet
+	defer func() { env.Cfg.Workers, env.batchFleet = restoreWorkers, restoreBatch }()
+
+	runs := []struct {
+		name    string
+		workers int
+		batch   bool
+	}{
+		{"batch-1", 1, true},
+		{"stream-1", 1, false},
+		{"batch-4", 4, true},
+		{"stream-4", 4, false},
+	}
+	// E8 prints no measurements: every run — batch or stream, 1 or 4
+	// workers — must be byte-identical.
+	var e8Ref string
+	for _, r := range runs {
+		env.Cfg.Workers, env.batchFleet = r.workers, r.batch
+		var buf bytes.Buffer
+		if err := RunE8(env, &buf); err != nil {
+			t.Fatalf("E8 %s: %v", r.name, err)
+		}
+		if e8Ref == "" {
+			e8Ref = buf.String()
+			continue
+		}
+		if buf.String() != e8Ref {
+			t.Errorf("E8 %s report diverges:\n--- %s ---\n%s\n--- reference ---\n%s",
+				r.name, r.name, buf.String(), e8Ref)
+		}
+	}
+
+	// E9's report shape depends on the worker count (the pool pass and
+	// speedup line only exist with workers > 1), so stream is compared to
+	// batch at each count, with the wall-clock figures masked.
+	for _, workers := range []int{1, 4} {
+		var byMode [2]string
+		for mode, batch := range []bool{true, false} {
+			env.Cfg.Workers, env.batchFleet = workers, batch
+			var buf bytes.Buffer
+			if err := RunE9(env, &buf); err != nil {
+				t.Fatalf("E9 workers=%d batch=%v: %v", workers, batch, err)
+			}
+			byMode[mode] = maskTimings(buf.String())
+		}
+		if byMode[0] != byMode[1] {
+			t.Errorf("E9 stream diverges from batch at %d workers:\n--- batch ---\n%s\n--- stream ---\n%s",
+				workers, byMode[0], byMode[1])
+		}
+	}
+}
+
+// timingRe matches Go duration strings (multi-unit alternatives ordered
+// longest-first so "800ms" doesn't half-match as "800m"+"s"), their %10v
+// padding, speedup/ratio factors and the GOMAXPROCS figure — the measured
+// (non-deterministic) parts of E9.
+var timingRe = regexp.MustCompile(`\s*(\d+(\.\d+)?(ms|µs|ns|h|m|s))+|\d+(\.\d+)?x|GOMAXPROCS \d+`)
+
+func maskTimings(s string) string { return timingRe.ReplaceAllString(s, "•") }
+
+// TestRepeatedEnvHitsSceneCache pins the shared-generation guarantee: two
+// Envs with the same configuration resolve their datasets from one corpus,
+// and the second pays zero scene generations.
+func TestRepeatedEnvHitsSceneCache(t *testing.T) {
+	corpus := scenario.NewCorpus()
+
+	first := NewEnv(QuickConfig(), nil)
+	first.Corpus = corpus
+	first.Dataset()
+	st := corpus.Stats()
+	wantScenes := int64(first.Cfg.TrainScenes + first.Cfg.TestScenes + first.Cfg.OODScenes)
+	if st.Generated != wantScenes {
+		t.Fatalf("first env generated %d scenes, want %d", st.Generated, wantScenes)
+	}
+
+	second := NewEnv(QuickConfig(), nil)
+	second.Corpus = corpus
+	ds := second.Dataset()
+	st2 := corpus.Stats()
+	if st2.Generated != wantScenes {
+		t.Fatalf("repeated env regenerated scenes: %d generations, want %d", st2.Generated, wantScenes)
+	}
+	if st2.Hits-st.Hits != wantScenes {
+		t.Fatalf("repeated env hit the cache %d times, want %d", st2.Hits-st.Hits, wantScenes)
+	}
+	if ds.Train[0] != first.Dataset().Train[0] {
+		t.Fatal("repeated env did not receive the cached scene instances")
+	}
+
+	// NewEnv defaults to the process-wide shared corpus.
+	if NewEnv(QuickConfig(), nil).Corpus != scenario.Shared() {
+		t.Fatal("NewEnv does not default to the shared corpus")
 	}
 }
 

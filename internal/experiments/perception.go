@@ -10,6 +10,7 @@ import (
 	"safeland"
 	"safeland/internal/imaging"
 	"safeland/internal/monitor"
+	"safeland/internal/scenario"
 	"safeland/internal/segment"
 	"safeland/internal/urban"
 )
@@ -59,24 +60,23 @@ func RunE7(e *Env, w io.Writer) error {
 	caseStudy(w, b, zoneRule, ds.OOD[0], "4b-safe  (OOD sunset, road-free)", false)
 
 	// End-to-end zone availability: the full Figure 2 pipeline served over
-	// the Engine worker pool, each split's scenes as one SelectBatch. This
-	// is the operational consequence of the monitor's conservatism — a
-	// distribution shift that inflates uncertainty costs confirmed zones.
+	// the Engine worker pool, each split's held-out scenes streamed through
+	// Engine.Serve from the shared corpus (pure cache hits — the dataset
+	// already resolved them). This is the operational consequence of the
+	// monitor's conservatism — a distribution shift that inflates
+	// uncertainty costs confirmed zones.
 	eng, err := e.Engine()
 	if err != nil {
 		return fmt.Errorf("E7: %w", err)
 	}
-	fmt.Fprintln(w, "\nZone availability, full pipeline through Engine.SelectBatch:")
+	_, testSpecs, oodSpecs := e.datasetSpecs()
+	fmt.Fprintln(w, "\nZone availability, full pipeline streamed through Engine.Serve:")
 	for _, split := range []struct {
-		name   string
-		scenes []*urban.Scene
-	}{{"in-distribution", ds.Test}, {"OOD (sunset)", ds.OOD}} {
-		reqs := make([]safeland.SelectRequest, len(split.scenes))
-		for i, s := range split.scenes {
-			reqs[i] = safeland.SelectRequest{Scene: s, HomeX: s.Layout.WorldW / 2, HomeY: s.Layout.WorldH / 2}
-		}
+		name  string
+		specs []scenario.Spec
+	}{{"in-distribution", testSpecs}, {"OOD (sunset)", oodSpecs}} {
 		confirmed, trials := 0, 0
-		for si, resp := range eng.SelectBatch(context.Background(), reqs) {
+		for si, resp := range e.Fleet(context.Background(), eng, split.specs, scenario.SceneRequest) {
 			if resp.Err != nil {
 				return fmt.Errorf("E7 %s scene %d: %w", split.name, si, resp.Err)
 			}
@@ -86,7 +86,7 @@ func RunE7(e *Env, w io.Writer) error {
 			trials += len(resp.Result.Trials)
 		}
 		fmt.Fprintf(w, "  %-18s confirmed %d/%d scenes, %.1f monitor trials/scene\n",
-			split.name, confirmed, len(split.scenes), float64(trials)/float64(len(split.scenes)))
+			split.name, confirmed, len(split.specs), float64(trials)/float64(len(split.specs)))
 	}
 	return nil
 }
@@ -165,19 +165,21 @@ func RunE9(e *Env, w io.Writer) error {
 		fmt.Fprintf(w, "  %2d samples: %10v\n", n, time.Since(t0))
 	}
 
-	// The timing fleet: the full monitored selection over a batch of
+	// The timing fleet: the full monitored selection over a stream of
 	// emergency scenes, served once on a single worker and once on the
-	// configured pool. On a multi-core runner the pool cuts wall-clock
-	// near-linearly until the internally-parallel forward passes contend;
-	// the responses themselves are byte-identical (per-call monitor
-	// reseeding), so the speedup is free of result drift.
-	fleetScenes := urban.GenerateSet(e.SceneConfig(), urban.DefaultConditions(), e.Cfg.CompareScenes, e.Cfg.Seed+91)
-	reqs := make([]safeland.SelectRequest, len(fleetScenes))
-	for i, s := range fleetScenes {
-		reqs[i] = safeland.SelectRequest{Scene: s}
+	// configured pool. The scenes flow from the shared corpus through
+	// Engine.Serve — the single-worker pass generates them just ahead of
+	// consumption, the pool pass replays them from cache. On a multi-core
+	// runner the pool cuts wall-clock near-linearly until the
+	// internally-parallel forward passes contend; the responses themselves
+	// are byte-identical (per-call monitor reseeding), so the speedup is
+	// free of result drift.
+	fleetSpecs := scenario.Set(e.SceneConfig(), urban.DefaultConditions(), e.Cfg.CompareScenes, e.Cfg.Seed+91)
+	fleetReq := func(_ int, s *urban.Scene) safeland.SelectRequest {
+		return safeland.SelectRequest{Scene: s}
 	}
-	fmt.Fprintf(w, "\nSelection fleet: %d scenes (%dpx) through Engine.SelectBatch:\n",
-		len(reqs), e.Cfg.SceneSize)
+	fmt.Fprintf(w, "\nSelection fleet: %d scenes (%dpx) streamed through Engine.Serve:\n",
+		len(fleetSpecs), e.Cfg.SceneSize)
 	pools := []int{1}
 	if e.Workers() > 1 {
 		pools = append(pools, e.Workers())
@@ -189,7 +191,7 @@ func RunE9(e *Env, w io.Writer) error {
 			return fmt.Errorf("E9: %w", err)
 		}
 		t0 = time.Now()
-		for si, resp := range eng.SelectBatch(context.Background(), reqs) {
+		for si, resp := range e.Fleet(context.Background(), eng, fleetSpecs, fleetReq) {
 			if resp.Err != nil {
 				return fmt.Errorf("E9 scene %d: %w", si, resp.Err)
 			}

@@ -17,10 +17,11 @@ import (
 // The missions fly as a fleet: every (repeat, scene) combination of a
 // failure kind runs on its own goroutine with a shared safeland.Engine as
 // the landing planner, so the perception calls are served by the worker
-// pool while the flight dynamics parallelize freely. Outcomes are
-// collected by index and aggregated in order, and each mission's wind is
-// seeded per (repeat, scene), so the table is byte-identical to a
-// sequential run.
+// pool while the flight dynamics parallelize freely. The scenes are the
+// corpus-backed held-out split, shared with every other experiment in the
+// process. Outcomes are collected by index and aggregated in order, and
+// each mission's wind is seeded per (repeat, scene), so the table is
+// byte-identical to a sequential run.
 func RunE5(e *Env, w io.Writer) error {
 	eng, err := e.Engine()
 	if err != nil {

@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"safeland/internal/urban"
+)
+
+// tinySpec returns a cheap-to-generate spec; bump keeps specs distinct.
+func tinySpec(bump int64) Spec {
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 64, 64
+	return Spec{Cfg: cfg, Cond: urban.DefaultConditions(), Seed: 1000 + bump}
+}
+
+func TestSpecKeyDeterministicAndSensitive(t *testing.T) {
+	base := tinySpec(0)
+	if got, again := base.Key(), base.Key(); got != again {
+		t.Fatalf("key not deterministic: %s vs %s", got, again)
+	}
+	if len(base.Key()) != 64 {
+		t.Fatalf("key is not a sha256 hex digest: %q", base.Key())
+	}
+
+	// Every generation input must reach the content address.
+	mutants := map[string]Spec{}
+	m := base
+	m.Seed++
+	mutants["seed"] = m
+	m = base
+	m.Cfg.W = 66
+	mutants["cfg width"] = m
+	m = base
+	m.Cfg.MovingCarsPer100M *= 2
+	mutants["traffic density"] = m
+	m = base
+	m.Cfg.ParkProb += 0.1
+	mutants["park probability"] = m
+	m = base
+	m.Cond.Lighting = urban.Sunset
+	mutants["lighting"] = m
+	m = base
+	m.Cond.TimeOfDay = 20.5
+	mutants["time of day"] = m
+	m = base
+	m.Cond.AltitudeM = 170
+	mutants["altitude"] = m
+	seen := map[string]string{base.Key(): "base"}
+	for name, sp := range mutants {
+		k := sp.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestSpecKeyCoversEveryGenerationInput is the drift guard for the
+// content address: Spec.Key hashes an explicit field list, so a new field
+// on urban.Config or urban.Conditions that Key doesn't fold in would
+// silently collide cache entries (and serve the wrong scene from the disk
+// layer across processes). This fails the moment either struct grows —
+// extend Key, bump keyVersion, then update the counts here.
+func TestSpecKeyCoversEveryGenerationInput(t *testing.T) {
+	if n := reflect.TypeOf(urban.Config{}).NumField(); n != 14 {
+		t.Fatalf("urban.Config has %d fields but Spec.Key hashes 14 — extend Key() and bump keyVersion", n)
+	}
+	if n := reflect.TypeOf(urban.Conditions{}).NumField(); n != 6 {
+		t.Fatalf("urban.Conditions has %d fields but Spec.Key hashes 6 — extend Key() and bump keyVersion", n)
+	}
+}
+
+func TestCorpusSceneMatchesDirectGenerate(t *testing.T) {
+	sp := tinySpec(1)
+	got := NewCorpus().Scene(sp)
+	want := urban.Generate(sp.Cfg, sp.Cond, sp.Seed)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("corpus scene diverges from a direct urban.Generate")
+	}
+}
+
+func TestCorpusCacheHitDeterminism(t *testing.T) {
+	c := NewCorpus()
+	sp := tinySpec(2)
+	first := c.Scene(sp)
+	second := c.Scene(sp)
+	if first != second {
+		t.Fatal("repeated lookup did not return the cached scene pointer")
+	}
+	st := c.Stats()
+	if st.Generated != 1 || st.Hits != 1 || st.Resident != 1 {
+		t.Fatalf("stats after two lookups = %+v, want 1 generated / 1 hit / 1 resident", st)
+	}
+
+	other := c.Scene(tinySpec(3))
+	if other == first {
+		t.Fatal("distinct specs shared a scene")
+	}
+	if st := c.Stats(); st.Generated != 2 {
+		t.Fatalf("generated = %d after two distinct specs, want 2", st.Generated)
+	}
+}
+
+func TestCorpusSingleflight(t *testing.T) {
+	c := NewCorpus()
+	sp := tinySpec(4)
+	const callers = 8
+	scenes := make([]*urban.Scene, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scenes[i] = c.Scene(sp)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if scenes[i] != scenes[0] {
+			t.Fatal("concurrent callers observed different scene instances")
+		}
+	}
+	if st := c.Stats(); st.Generated != 1 {
+		t.Fatalf("%d concurrent requests generated %d times, want 1", callers, st.Generated)
+	}
+}
+
+func TestDiskCorpusRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	sp := tinySpec(5)
+
+	writer := NewDiskCorpus(dir)
+	want := writer.Scene(sp)
+	if st := writer.Stats(); st.Generated != 1 || st.DiskHits != 0 {
+		t.Fatalf("writer stats = %+v, want 1 generated / 0 disk hits", st)
+	}
+
+	// A fresh corpus over the same directory loads instead of regenerating.
+	reader := NewDiskCorpus(dir)
+	got := reader.Scene(sp)
+	if st := reader.Stats(); st.Generated != 0 || st.DiskHits != 1 {
+		t.Fatalf("reader stats = %+v, want 0 generated / 1 disk hit", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("disk roundtrip altered the scene")
+	}
+
+	// A different spec misses the disk layer and generates.
+	reader.Scene(tinySpec(6))
+	if st := reader.Stats(); st.Generated != 1 {
+		t.Fatalf("distinct spec should generate, stats = %+v", st)
+	}
+}
+
+func TestStreamEmitsInSpecOrder(t *testing.T) {
+	c := NewCorpus()
+	specs := make([]Spec, 9)
+	for i := range specs {
+		specs[i] = tinySpec(10 + int64(i))
+	}
+	var idxs []int
+	for req := range c.Stream(context.Background(), specs, nil) {
+		i := len(idxs)
+		idxs = append(idxs, i)
+		if req.Scene != c.Scene(specs[i]) {
+			t.Fatalf("request %d carries the wrong scene", i)
+		}
+		if req.HomeX != req.Scene.Layout.WorldW/2 || req.HomeY != req.Scene.Layout.WorldH/2 {
+			t.Fatalf("request %d missing the scene-center home bias", i)
+		}
+	}
+	if len(idxs) != len(specs) {
+		t.Fatalf("stream delivered %d of %d requests", len(idxs), len(specs))
+	}
+	if st := c.Stats(); st.Generated != int64(len(specs)) {
+		t.Fatalf("stream generated %d scenes for %d specs", st.Generated, len(specs))
+	}
+}
+
+func TestStreamHonorsCancellation(t *testing.T) {
+	c := NewCorpus()
+	specs := make([]Spec, 20)
+	for i := range specs {
+		specs[i] = tinySpec(40 + int64(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out := c.Stream(ctx, specs, nil)
+	if _, ok := <-out; !ok {
+		t.Fatal("stream closed before delivering anything")
+	}
+	cancel()
+	// The channel must close; range guards against a hang via test timeout.
+	n := 1
+	for range out {
+		n++
+	}
+	if n >= len(specs) {
+		t.Fatalf("cancelled stream still delivered all %d requests", n)
+	}
+}
+
+func TestAxesEnumerateDeterministicAndDeduplicated(t *testing.T) {
+	a := DefaultAxes()
+	first := a.Enumerate(64, 7)
+	second := a.Enumerate(64, 7)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("enumeration is not deterministic")
+	}
+	wantLen := len(a.Layouts) * len(a.Densities) * len(a.Winds) * len(a.Failures) * len(a.Hours)
+	if len(first) != wantLen {
+		t.Fatalf("enumerated %d scenarios, want %d", len(first), wantLen)
+	}
+
+	names := map[string]bool{}
+	keys := map[string]bool{}
+	for _, sc := range first {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		keys[sc.Spec.Key()] = true
+	}
+	// Wind and failure variants do not change the scene recipe, so the
+	// corpus collapses the grid to layout × density × hour distinct scenes
+	// — the dedup the shared cache exists for.
+	wantScenes := len(a.Layouts) * len(a.Densities) * len(a.Hours)
+	if len(keys) != wantScenes {
+		t.Fatalf("grid resolves to %d distinct scenes, want %d", len(keys), wantScenes)
+	}
+
+	// Seeds are content-derived: shrinking the grid must not reshuffle the
+	// surviving combinations' scenes.
+	sub := a
+	sub.Winds = a.Winds[:1]
+	sub.Hours = a.Hours[:1]
+	subSeeds := map[string]int64{}
+	for _, sc := range sub.Enumerate(64, 7) {
+		subSeeds[sc.Name] = sc.Spec.Seed
+	}
+	for _, sc := range first {
+		if seed, ok := subSeeds[sc.Name]; ok && seed != sc.Spec.Seed {
+			t.Fatalf("scenario %q changed seed when the grid shrank", sc.Name)
+		}
+	}
+
+	// A different base seed moves every scene.
+	for i, sc := range a.Enumerate(64, 8) {
+		if sc.Spec.Seed == first[i].Spec.Seed {
+			t.Fatalf("scenario %q kept its seed across base seeds", sc.Name)
+		}
+	}
+}
+
+func FuzzSpecKey(f *testing.F) {
+	f.Add(int64(1), 64, 64, 120.0, 14.0, 0.0)
+	f.Add(int64(2021), 192, 192, 170.0, 20.5, 0.3)
+	f.Fuzz(func(t *testing.T, seed int64, w, h int, alt, hour, fog float64) {
+		cfg := urban.DefaultConfig()
+		cfg.W, cfg.H = w, h
+		cond := urban.DefaultConditions()
+		cond.AltitudeM = alt
+		cond.TimeOfDay = hour
+		cond.FogDensity = fog
+		sp := Spec{Cfg: cfg, Cond: cond, Seed: seed}
+		key := sp.Key()
+		if len(key) != 64 {
+			t.Fatalf("key length %d", len(key))
+		}
+		if key != sp.Key() {
+			t.Fatal("key unstable")
+		}
+		bumped := sp
+		bumped.Seed++
+		if bumped.Key() == key {
+			t.Fatal("seed change did not move the key")
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"context"
+
+	"safeland"
+	"safeland/internal/urban"
+)
+
+// StreamAhead bounds how many scenes Stream generates beyond the one being
+// consumed: enough to keep an Engine's worker pool fed while the next
+// scenes render, small enough that cancellation does not strand a pile of
+// half-wanted generations.
+const StreamAhead = 4
+
+// BuildRequest turns a generated scene into the request the fleet serves
+// for it; i is the scene's position in the spec list, which Engine.Serve
+// echoes back as the response Index.
+type BuildRequest func(i int, s *urban.Scene) safeland.SelectRequest
+
+// SceneRequest is the BuildRequest most fleets want: the scene attached,
+// with the home bias at the scene center (the emergency position used by
+// the experiment suite).
+func SceneRequest(_ int, s *urban.Scene) safeland.SelectRequest {
+	return safeland.SelectRequest{Scene: s, HomeX: s.Layout.WorldW / 2, HomeY: s.Layout.WorldH / 2}
+}
+
+// Stream generates the specs' scenes through the corpus and emits one
+// request per spec, in spec order, on the returned channel — the producer
+// side of Engine.Serve. Generation runs up to StreamAhead scenes ahead of
+// consumption on background goroutines, so perception and scene synthesis
+// overlap instead of serializing behind a materialized slice. The channel
+// closes after the last spec's request is delivered, or early when ctx is
+// cancelled. Because specs determine scenes exactly, feeding the stream to
+// Serve yields responses byte-identical to SelectBatch over the
+// materialized equivalent, whatever the worker count.
+func (c *Corpus) Stream(ctx context.Context, specs []Spec, build BuildRequest) <-chan safeland.SelectRequest {
+	if build == nil {
+		build = SceneRequest
+	}
+	out := make(chan safeland.SelectRequest)
+	slots := make([]chan *urban.Scene, len(specs))
+	for i := range slots {
+		slots[i] = make(chan *urban.Scene, 1)
+	}
+	// Admission: each generation takes a token before starting; the emitter
+	// returns it once the scene is handed off, capping generate-ahead.
+	tokens := make(chan struct{}, StreamAhead)
+	go func() {
+		for i := range specs {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			go func(i int) {
+				slots[i] <- c.Scene(specs[i])
+			}(i)
+		}
+	}()
+	go func() {
+		defer close(out)
+		for i := range specs {
+			var s *urban.Scene
+			select {
+			case s = <-slots[i]:
+				<-tokens
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case out <- build(i, s):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// ServeOrdered is the full streaming round trip: the specs' scenes flow
+// through the corpus into eng.Serve as they are generated, and the
+// responses come back reordered by request index — a drop-in replacement
+// for materializing the scenes and calling SelectBatch, with identical
+// responses (per-scene seeding plus the monitor's per-call reseeding) but
+// pipelined scene generation. SelectBatch's cancellation contract carries
+// over too: requests ctx killed before they were served report ctx's
+// error, not a bare missing-response marker.
+func (c *Corpus) ServeOrdered(ctx context.Context, eng *safeland.Engine, specs []Spec, build BuildRequest) []safeland.SelectResponse {
+	resps := safeland.Gather(eng.Serve(ctx, c.Stream(ctx, specs, build)), len(specs))
+	if err := ctx.Err(); err != nil {
+		for i := range resps {
+			if resps[i].Err == safeland.ErrNoResponse {
+				resps[i].Err = err
+			}
+		}
+	}
+	return resps
+}

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"safeland/internal/uav"
+	"safeland/internal/urban"
+)
+
+// The variant layer enumerates the operating-condition grid the Table III
+// criteria demand validation over: urban layout × density × wind × failure
+// profile × time-of-day. Every combination resolves to a content-derived
+// seed, so the grid is stable under reordering and extension — adding a
+// variant never reshuffles the scenes of the existing ones.
+
+// LayoutVariant is one urban-morphology preset.
+type LayoutVariant struct {
+	Name string
+	Cfg  urban.Config
+}
+
+// DensityVariant scales the traffic and pedestrian load of a layout.
+type DensityVariant struct {
+	Name string
+	// TrafficScale multiplies moving/parked car density.
+	TrafficScale float64
+	// PedestrianScale multiplies the per-block pedestrian cap.
+	PedestrianScale float64
+}
+
+// WindVariant is one wind regime for the landing-phase simulation.
+type WindVariant struct {
+	Name    string
+	MeanMS  float64
+	GustStd float64
+}
+
+// New builds the variant's wind field with the given seed, blowing along
+// +x (the drift direction is immaterial to the drift-magnitude criteria).
+func (v WindVariant) New(seed int64) *uav.Wind {
+	return uav.NewWind(v.MeanMS, 0, v.GustStd, seed)
+}
+
+// FailureVariant is one failure-injection profile for mission fleets.
+type FailureVariant struct {
+	Name string
+	Kind uav.FailureKind
+	// AtS is the injection time; ClearAtS clears a temporary failure
+	// (0 = permanent).
+	AtS, ClearAtS float64
+}
+
+// Injection returns the profile as a mission failure event.
+func (v FailureVariant) Injection() uav.TimedFailure {
+	return uav.TimedFailure{AtS: v.AtS, Kind: v.Kind, ClearAtS: v.ClearAtS}
+}
+
+// Axes spans the scenario grid; Enumerate crosses every axis.
+type Axes struct {
+	Layouts   []LayoutVariant
+	Densities []DensityVariant
+	Winds     []WindVariant
+	Failures  []FailureVariant
+	// Hours are local times of day; they drive exposure (diurnal density)
+	// and the rendered lighting.
+	Hours []float64
+}
+
+// Scenario is one fully-specified operating condition: the scene recipe
+// plus the dynamic conditions (wind, failure) a mission fleet injects.
+type Scenario struct {
+	// Name concatenates the variant names; it doubles as the stable
+	// identity the per-scenario seed derives from.
+	Name    string
+	Spec    Spec
+	Wind    WindVariant
+	Failure FailureVariant
+	Hour    float64
+}
+
+// WindSeed is the deterministic seed for this scenario's wind field. It
+// hashes the full scenario name, so two scenarios sharing a scene (same
+// layout, density and hour) still fly under decorrelated gust sequences.
+func (s Scenario) WindSeed() int64 { return variantSeed(s.Spec.Seed, s.Name) }
+
+// DefaultAxes returns the reference grid: three urban morphologies, three
+// load levels, three wind regimes, the three failure kinds that reach the
+// emergency-landing path, and the two commute peaks plus a night slot.
+func DefaultAxes() Axes {
+	dense := urban.DefaultConfig()
+	dense.RoadSpacingMin, dense.RoadSpacingMax = 30, 52
+	dense.ParkProb, dense.PlazaProb = 0.10, 0.06
+	open := urban.DefaultConfig()
+	open.RoadSpacingMin, open.RoadSpacingMax = 56, 96
+	open.ParkProb, open.PlazaProb = 0.34, 0.14
+	return Axes{
+		Layouts: []LayoutVariant{
+			{Name: "dense-grid", Cfg: dense},
+			{Name: "mid-city", Cfg: urban.DefaultConfig()},
+			{Name: "open-suburb", Cfg: open},
+		},
+		Densities: []DensityVariant{
+			{Name: "rush", TrafficScale: 1.5, PedestrianScale: 1.5},
+			{Name: "daytime", TrafficScale: 1, PedestrianScale: 1},
+			{Name: "quiet", TrafficScale: 0.35, PedestrianScale: 0.3},
+		},
+		Winds: []WindVariant{
+			{Name: "calm", MeanMS: 0.5, GustStd: 0.2},
+			{Name: "moderate", MeanMS: 2, GustStd: 0.7},
+			{Name: "gusty", MeanMS: 5, GustStd: 1.5},
+		},
+		Failures: []FailureVariant{
+			{Name: "nav-loss", Kind: uav.NavigationLoss, AtS: 5},
+			{Name: "engine", Kind: uav.EngineFailure, AtS: 5},
+			{Name: "battery", Kind: uav.BatteryCritical, AtS: 5},
+		},
+		Hours: []float64{8.5, 14, 22},
+	}
+}
+
+// Enumerate crosses every axis into the scenario list at the given scene
+// size. Each scenario's seed derives from baseSeed and a hash of its
+// variant names — seed-keyed by content, so two runs of the same grid (or
+// the same combination inside two differently-shaped grids) land on the
+// same scenes and the corpus deduplicates them.
+func (a Axes) Enumerate(sizePx int, baseSeed int64) []Scenario {
+	var out []Scenario
+	for _, lay := range a.Layouts {
+		for _, den := range a.Densities {
+			for _, wind := range a.Winds {
+				for _, fail := range a.Failures {
+					for _, hour := range a.Hours {
+						name := fmt.Sprintf("%s/%s/%s/%s/h%.1f",
+							lay.Name, den.Name, wind.Name, fail.Name, hour)
+						// The scene seed hashes only the scene-affecting
+						// axes: wind and failure variants reuse the same
+						// Spec (and key), so the corpus generates one
+						// scene per layout × density × hour cell.
+						sceneName := fmt.Sprintf("%s/%s/h%.1f", lay.Name, den.Name, hour)
+						cfg := lay.Cfg
+						cfg.W, cfg.H = sizePx, sizePx
+						cfg.MovingCarsPer100M *= den.TrafficScale
+						cfg.ParkedCarsPer100M *= den.TrafficScale
+						cfg.HumansPerBlockMax = int(float64(cfg.HumansPerBlockMax) * den.PedestrianScale)
+						cond := urban.DefaultConditions()
+						cond.TimeOfDay = hour
+						cond.Lighting = lightingAt(hour)
+						out = append(out, Scenario{
+							Name:    name,
+							Spec:    Spec{Cfg: cfg, Cond: cond, Seed: variantSeed(baseSeed, sceneName)},
+							Wind:    wind,
+							Failure: fail,
+							Hour:    hour,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lightingAt maps a local hour onto the renderer's lighting conditions.
+func lightingAt(hour float64) urban.Lighting {
+	switch {
+	case hour >= 19 && hour < 21.5:
+		return urban.Sunset
+	case hour < 6.5 || hour >= 21.5:
+		return urban.Night
+	default:
+		return urban.Day
+	}
+}
+
+// variantSeed folds a scenario's stable name into the base seed.
+func variantSeed(baseSeed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return baseSeed ^ int64(h.Sum64())
+}

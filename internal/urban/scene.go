@@ -20,8 +20,15 @@ type Scene struct {
 	Seed int64
 }
 
+// GeneratorVersion identifies the scene-generation algorithm. Bump it
+// whenever a change to Generate (or anything it calls — layout synthesis,
+// rendering, noise) alters the output for identical inputs: the scenario
+// corpus folds it into its content addresses, so stale on-disk caches are
+// invalidated instead of silently serving scenes from the old algorithm.
+const GeneratorVersion = 1
+
 // Generate builds one scene from the config, conditions and seed. The same
-// inputs always produce the same scene.
+// inputs always produce the same scene (for a fixed GeneratorVersion).
 func Generate(cfg Config, cond Conditions, seed int64) *Scene {
 	rng := rand.New(rand.NewSource(seed))
 	lay, p := generateLayout(cfg, cond, rng)

@@ -30,10 +30,11 @@
 // runs.
 //
 // System remains as the single-threaded assembly underneath the Engine —
-// NewEngine builds or adopts one — and its direct selection methods are
-// kept as deprecated shims for existing callers. The building blocks live
-// in internal/ packages and are exercised by the examples/ programs, the
-// cmd/ tools and the experiment suite (cmd/elbench).
+// NewEngine builds or adopts one — holding the trained model, monitor and
+// vehicle spec; all selection goes through the Engine (the former
+// System.SelectLandingZone/PlanLanding shims are gone). The building
+// blocks live in internal/ packages and are exercised by the examples/
+// programs, the cmd/ tools and the experiment suite (cmd/elbench).
 package safeland
 
 import (
@@ -41,7 +42,6 @@ import (
 	"io"
 
 	"safeland/internal/core"
-	"safeland/internal/imaging"
 	"safeland/internal/segment"
 	"safeland/internal/sora"
 	"safeland/internal/uav"
@@ -151,26 +151,6 @@ func (s *System) Replica() (*System, error) {
 		return nil, fmt.Errorf("safeland: replicating system: %w", err)
 	}
 	return &System{Pipeline: s.Pipeline.Replica(m), Spec: s.Spec}, nil
-}
-
-// SelectLandingZone runs the full Figure 2 pipeline on one on-board image:
-// segmentation, zone proposal, Bayesian verification and the decision
-// module. mpp is the ground sampling distance in meters per pixel.
-//
-// Deprecated: use Engine.Select, which adds context support, request
-// deadlines and concurrent serving. This shim remains for single-threaded
-// callers and produces identical results.
-func (s *System) SelectLandingZone(img *imaging.Image, mpp float64) core.Result {
-	return s.Pipeline.SelectAndVerify(img, mpp)
-}
-
-// PlanLanding implements uav.LandingPlanner so the system can be dropped
-// into the mission simulator's safety switch.
-//
-// Deprecated: use Engine.PlanLanding, which serves from the engine's
-// worker pool instead of the shared system model.
-func (s *System) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
-	return s.Pipeline.PlanLanding(scene, xM, yM)
 }
 
 // Certify runs the SORA v2.0 assessment for the given vehicle's MEDI

@@ -1,6 +1,7 @@
 package safeland
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -47,12 +48,20 @@ func TestNewSystemDefaultsApplied(t *testing.T) {
 	}
 }
 
-func TestSystemSelectLandingZone(t *testing.T) {
+func TestEngineSelectLandingZone(t *testing.T) {
 	s := quickSystem(t)
 	cfg := urban.DefaultConfig()
 	cfg.W, cfg.H = 128, 128
 	scene := urban.Generate(cfg, urban.DefaultConditions(), 42)
-	res := s.SelectLandingZone(scene.Image, scene.MPP)
+	eng, err := NewEngine(WithSystem(s), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := eng.Select(context.Background(), SelectRequest{Image: scene.Image, MPP: scene.MPP})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	res := resp.Result
 	if res.Pred == nil {
 		t.Fatal("no prediction in result")
 	}
@@ -118,17 +127,21 @@ func TestOperationMatchesPaper(t *testing.T) {
 	}
 }
 
-func TestSystemAsMissionPlanner(t *testing.T) {
+func TestEngineAsMissionPlanner(t *testing.T) {
 	s := quickSystem(t)
 	cfg := urban.DefaultConfig()
 	cfg.W, cfg.H = 128, 128
 	scene := urban.Generate(cfg, urban.DefaultConditions(), 43)
+	eng, err := NewEngine(WithSystem(s), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := &uav.Mission{
 		Spec:      s.Spec,
 		Scene:     scene,
 		Waypoints: [][2]float64{{5, 5}, {scene.Layout.WorldW - 5, scene.Layout.WorldH - 5}},
 		Base:      [2]float64{5, 5},
-		Planner:   s,
+		Planner:   eng,
 		Failures:  []uav.TimedFailure{{AtS: 3, Kind: uav.NavigationLoss}},
 		Hour:      14,
 	}
