@@ -2,11 +2,12 @@
 #
 #   make check      # tier-1 gate + race detector (shuffled) over the concurrent paths
 #   make bench      # benchmarks; engine + fleet numbers land in BENCH_*.json
+#   make grid       # E11 grid coverage standalone (quick scale)
 #   make fuzz-smoke # a few seconds of each fuzz target
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-experiments bench fuzz-smoke
+.PHONY: check fmt vet build test race race-experiments bench grid fuzz-smoke
 
 check: fmt vet build race
 
@@ -43,16 +44,25 @@ race-experiments:
 # One pass over every benchmark, split so nothing runs twice: the
 # paper-artifact benchmarks (BenchmarkE1..E10*) print human-readably, the
 # Engine batch scaling curve (BenchmarkEngineBatch{1,4,8}Workers) lands in
-# BENCH_engine.json and the experiment-fleet curve
-# (BenchmarkExperimentE8Workers{1,4,8}) in BENCH_experiments.json as
-# test2json events, so the perf trajectory is tracked per-PR.
+# BENCH_engine.json, the strategy-fleet curve
+# (BenchmarkExperimentE8Workers{1,4,8}) in BENCH_experiments.json and the
+# E11 grid-fleet curve (BenchmarkExperimentE11Workers{1,4,8}) in
+# BENCH_grid.json as test2json events, so the perf trajectory is tracked
+# per-PR.
 bench:
 	$(GO) test -bench='^BenchmarkE[0-9]' -benchtime=1x -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineBatch -benchtime=1x -run=^$$ -json . > BENCH_engine.json
-	$(GO) test -bench=BenchmarkExperiment -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
+	$(GO) test -bench=BenchmarkExperimentE8 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
+	$(GO) test -bench=BenchmarkExperimentE11 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_grid.json
+
+# E11 grid coverage standalone: the full scenario-axes mission fleet at
+# quick scale (trains the quick model, then streams all 243 scenarios).
+grid:
+	$(GO) run ./cmd/elbench -quick -run E11
 
 # A few seconds of coverage-guided input generation per fuzz target — the
 # cheap regression pass; leave the long campaigns to dedicated runs.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzZoneSelection -fuzztime=5s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzSpecKey -fuzztime=5s ./internal/scenario
+	$(GO) test -run=^$$ -fuzz=FuzzAxesEnumerate -fuzztime=5s ./internal/scenario

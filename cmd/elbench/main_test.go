@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"safeland/internal/scenario"
 )
 
 // TestRunModelFreeExperiment smoke-tests the binary entry point on an
@@ -32,6 +34,61 @@ func TestRunUnknownExperimentFails(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if code := run([]string{"-bogus"}, io.Discard, io.Discard); code != 2 {
 		t.Fatalf("exit code %d for bad flag, want 2", code)
+	}
+}
+
+func TestGridFromFlags(t *testing.T) {
+	if _, shaped, err := gridFromFlags(0, ""); err != nil || shaped {
+		t.Fatalf("no grid flags must leave the grid unshaped (shaped=%v, err=%v)", shaped, err)
+	}
+
+	axes, shaped, err := gridFromFlags(2, "winds=1, hours=2")
+	if err != nil || !shaped {
+		t.Fatalf("gridFromFlags(2, winds=1,hours=2) = shaped %v, err %v", shaped, err)
+	}
+	if got := []int{len(axes.Layouts), len(axes.Densities), len(axes.Winds), len(axes.Failures), len(axes.Hours)}; !(got[0] == 2 && got[1] == 2 && got[2] == 1 && got[3] == 2 && got[4] == 2) {
+		t.Fatalf("shaped grid has axis lengths %v, want [2 2 1 2 2]", got)
+	}
+
+	// -axes applies against the full default grid, so it can hold an axis
+	// wider than the -grid truncation: -grid 1 -axes winds=3 keeps all
+	// three wind regimes.
+	axes, _, err = gridFromFlags(1, "winds=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axes.Winds) != 3 || len(axes.Layouts) != 1 || len(axes.Hours) != 1 {
+		t.Fatalf("-grid 1 -axes winds=3 yields %d winds / %d layouts / %d hours, want 3 / 1 / 1",
+			len(axes.Winds), len(axes.Layouts), len(axes.Hours))
+	}
+
+	// A -grid wider than every axis keeps the full default grid.
+	axes, _, err = gridFromFlags(99, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axes.Scenarios() != scenario.DefaultAxes().Scenarios() {
+		t.Fatalf("-grid 99 yields %d scenarios, want the full %d", axes.Scenarios(), scenario.DefaultAxes().Scenarios())
+	}
+
+	for _, spec := range []string{"bogus", "winds", "winds=x", "winds=0", "nosuch=1", "winds=9", "winds=1,winds=2"} {
+		if _, _, err := gridFromFlags(0, spec); err == nil {
+			t.Errorf("-axes %q must be rejected", spec)
+		}
+	}
+	if _, _, err := gridFromFlags(-1, ""); err == nil {
+		t.Error("-grid -1 must be rejected")
+	}
+}
+
+// TestRunBadAxesSpecFails pins the flag-validation exit path of the binary.
+func TestRunBadAxesSpecFails(t *testing.T) {
+	var errs bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E1", "-axes", "bogus"}, io.Discard, &errs); code != 2 {
+		t.Fatalf("exit code %d for bad -axes spec, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "bogus") {
+		t.Errorf("error does not name the bad entry:\n%s", errs.String())
 	}
 }
 

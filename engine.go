@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safeland/internal/core"
@@ -58,14 +59,53 @@ type SelectResponse struct {
 	Err error
 }
 
+// CorpusStats is a snapshot of the scene-source cache counters an Engine
+// surfaces through Stats when a source is attached with WithCorpusStats.
+// The safeland package has no view into the cache itself (the scenario
+// corpus lives above it and feeds Serve through request channels), so the
+// counters arrive through the attached snapshot function.
+type CorpusStats struct {
+	// Generated counts scenes built by running the generator.
+	Generated int64
+	// Hits counts lookups served from the in-memory cache.
+	Hits int64
+	// DiskHits counts lookups satisfied from an on-disk layer.
+	DiskHits int64
+	// Resident is the number of distinct scenes currently cached.
+	Resident int
+}
+
+// Lookups returns the total cache lookups the counters cover: every lookup
+// is exactly one of a generation, a memory hit, or a disk hit.
+func (s CorpusStats) Lookups() int64 { return s.Generated + s.Hits + s.DiskHits }
+
+// EngineStats is a point-in-time snapshot of an Engine's serving counters —
+// the service-dashboard view of the pool.
+type EngineStats struct {
+	// Requests counts selections accepted by Select, SelectBatch or Serve.
+	Requests int64
+	// Served counts requests that reached a worker's backend (Requests
+	// minus the ones cancelled or timed out while queued).
+	Served int64
+	// Failed counts requests that ended in an error: an error response
+	// (failed while queued or on a worker), or a Serve request dropped by
+	// cancellation before reaching a worker (its caller-visible slot is
+	// ErrNoResponse / the context's error).
+	Failed int64
+	// Corpus reports the attached scene source (WithCorpusStats); zero
+	// when no source is attached.
+	Corpus CorpusStats
+}
+
 // engineConfig collects the functional options.
 type engineConfig struct {
-	train      Options
-	samples    int // 0 = keep the system's monitor setting
-	system     *System
-	checkpoint string
-	factory    SelectorFactory
-	workers    int
+	train       Options
+	samples     int // 0 = keep the system's monitor setting
+	system      *System
+	checkpoint  string
+	factory     SelectorFactory
+	workers     int
+	corpusStats func() CorpusStats
 }
 
 // Option configures NewEngine.
@@ -125,6 +165,15 @@ func WithWorkers(n int) Option {
 	return func(c *engineConfig) { c.workers = n }
 }
 
+// WithCorpusStats attaches a scene-source counter snapshot to the engine:
+// Engine.Stats folds fn's result into its Corpus field, so one Stats call
+// describes both the pool and the cache feeding it. The scenario corpus
+// provides a ready adapter (scenario.Corpus.EngineStats). fn must be safe
+// for concurrent use; nil detaches.
+func WithCorpusStats(fn func() CorpusStats) Option {
+	return func(c *engineConfig) { c.corpusStats = fn }
+}
+
 // DefaultWorkers is the worker-pool size NewEngine uses when WithWorkers
 // is not given: one worker per CPU, capped at 4 because the perception
 // forward passes are internally parallel and oversubscribing them degrades
@@ -158,6 +207,12 @@ type Engine struct {
 	workers  int
 	selector string
 	replicas chan Selector
+
+	corpusStats func() CorpusStats
+
+	requests atomic.Int64
+	served   atomic.Int64
+	failed   atomic.Int64
 }
 
 // NewEngine builds an engine. The model comes from, in order of
@@ -188,7 +243,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		sys = NewSystem(cfg.train)
 	}
 
-	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers)}
+	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers), corpusStats: cfg.corpusStats}
 	for i := 0; i < cfg.workers; i++ {
 		rep, err := sys.Replica()
 		if err != nil {
@@ -220,6 +275,22 @@ func (e *Engine) Workers() int { return e.workers }
 // SelectorName returns the name of the configured backend.
 func (e *Engine) SelectorName() string { return e.selector }
 
+// Stats returns a snapshot of the engine's serving counters, plus the
+// scene-source cache counters when a source is attached (WithCorpusStats).
+// Counters are cumulative over the engine's lifetime; callers tracking one
+// workload diff two snapshots.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Requests: e.requests.Load(),
+		Served:   e.served.Load(),
+		Failed:   e.failed.Load(),
+	}
+	if e.corpusStats != nil {
+		st.Corpus = e.corpusStats()
+	}
+	return st
+}
+
 // Save writes the engine's model checkpoint to path.
 func (e *Engine) Save(path string) error { return e.sys.Save(path) }
 
@@ -239,7 +310,13 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) SelectResponse {
 }
 
 func (e *Engine) run(ctx context.Context, req SelectRequest, idx int) SelectResponse {
+	e.requests.Add(1)
 	resp := SelectResponse{Index: idx, Selector: e.selector}
+	defer func() {
+		if resp.Err != nil {
+			e.failed.Add(1)
+		}
+	}()
 	// The request deadline only bounds queueing, so it guards the wait
 	// but never reaches the backend: once a worker starts, the selection
 	// runs under the caller's context alone.
@@ -262,6 +339,7 @@ func (e *Engine) run(ctx context.Context, req SelectRequest, idx int) SelectResp
 			resp.Err = err
 			return resp
 		}
+		e.served.Add(1)
 		start := time.Now()
 		resp.Result, resp.Err = sel.Select(ctx, req)
 		resp.Elapsed = time.Since(start)
@@ -319,6 +397,13 @@ func (e *Engine) Serve(ctx context.Context, in <-chan SelectRequest) <-chan Sele
 				select {
 				case tagged <- taggedRequest{req, idx}:
 				case <-ctx.Done():
+					// The request was already consumed from in but will
+					// never reach a worker: account it as accepted and
+					// failed, matching what the same cancellation costs a
+					// queued SelectBatch request (the caller sees the slot
+					// as ErrNoResponse / ctx.Err via Gather).
+					e.requests.Add(1)
+					e.failed.Add(1)
 					return
 				}
 			}

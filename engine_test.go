@@ -105,6 +105,123 @@ func TestEngineMonitorSamplesOverride(t *testing.T) {
 	}
 }
 
+// errSelector fails requests with negative MPP — a cheap way to route some
+// of a batch through the error path.
+type errSelector struct{}
+
+func (errSelector) Name() string { return "err-stub" }
+
+func (errSelector) Select(_ context.Context, req SelectRequest) (core.Result, error) {
+	if req.MPP < 0 {
+		return core.Result{}, fmt.Errorf("negative MPP")
+	}
+	return core.Result{Confirmed: true, State: core.Landing}, nil
+}
+
+func TestEngineStatsCounters(t *testing.T) {
+	eng, err := NewEngine(
+		WithSystem(stubSystem()), WithWorkers(2),
+		WithSelector(func(*System) (Selector, error) { return errSelector{}, nil }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st != (EngineStats{}) {
+		t.Fatalf("fresh engine stats = %+v, want zero", st)
+	}
+
+	// 4 served OK, 2 served with a backend error.
+	reqs := []SelectRequest{{MPP: 1}, {MPP: -1}, {MPP: 2}, {MPP: 3}, {MPP: -2}, {MPP: 4}}
+	for i, resp := range eng.SelectBatch(context.Background(), reqs) {
+		if wantErr := reqs[i].MPP < 0; (resp.Err != nil) != wantErr {
+			t.Fatalf("response %d err = %v, want error %v", i, resp.Err, wantErr)
+		}
+	}
+	st := eng.Stats()
+	if st.Requests != 6 || st.Served != 6 || st.Failed != 2 {
+		t.Errorf("after batch: stats = %+v, want 6 requests / 6 served / 2 failed", st)
+	}
+
+	// A request cancelled while queued counts as accepted and failed, but
+	// never as served.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if resp := eng.Select(ctx, SelectRequest{MPP: 1}); !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("cancelled select err = %v", resp.Err)
+	}
+	st = eng.Stats()
+	if st.Requests != 7 || st.Served != 6 || st.Failed != 3 {
+		t.Errorf("after cancelled select: stats = %+v, want 7 requests / 6 served / 3 failed", st)
+	}
+	if st.Corpus != (CorpusStats{}) {
+		t.Errorf("engine without a corpus source reports %+v", st.Corpus)
+	}
+}
+
+// TestEngineStatsCountsServeDrops pins the Serve side of the accounting: a
+// request the dispatcher consumed from in but dropped at cancellation must
+// count as accepted and failed, exactly what the same cancellation costs a
+// queued SelectBatch request. Whichever way the cancellation race resolves
+// for the second request — dropped by the dispatcher, or tagged and then
+// failed fast on a worker — the totals are identical, so the assertions
+// are deterministic.
+func TestEngineStatsCountsServeDrops(t *testing.T) {
+	started := make(chan struct{})
+	blocking := func(*System) (Selector, error) {
+		return &stubSelector{calls: new(atomic.Int32), delay: func(SelectRequest) time.Duration {
+			close(started)
+			return time.Hour // released by cancellation
+		}}, nil
+	}
+	eng, err := NewEngine(WithSystem(stubSystem()), WithWorkers(1), WithSelector(blocking))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan SelectRequest)
+	out := eng.Serve(ctx, in)
+
+	in <- SelectRequest{MPP: 1} // reaches the single worker and blocks
+	<-started
+	in <- SelectRequest{MPP: 2} // consumed by the dispatcher, never served
+	cancel()
+	close(in)
+	resps := Gather(out, 2)
+
+	if !errors.Is(resps[0].Err, context.Canceled) {
+		t.Fatalf("first request err = %v, want context.Canceled", resps[0].Err)
+	}
+	if resps[1].Err == nil {
+		t.Fatal("second request reported success despite cancellation")
+	}
+	st := eng.Stats()
+	if st.Requests != 2 || st.Served != 1 || st.Failed != 2 {
+		t.Errorf("stats after cancelled Serve = %+v, want 2 requests / 1 served / 2 failed", st)
+	}
+}
+
+func TestEngineStatsSurfacesCorpusSource(t *testing.T) {
+	src := CorpusStats{Generated: 27, Hits: 216, DiskHits: 3, Resident: 27}
+	var snapshots atomic.Int32
+	eng, err := NewEngine(
+		WithSystem(stubSystem()), WithWorkers(1),
+		WithCorpusStats(func() CorpusStats { snapshots.Add(1); return src }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Corpus != src {
+		t.Errorf("corpus stats = %+v, want %+v", st.Corpus, src)
+	}
+	if got := st.Corpus.Lookups(); got != 27+216+3 {
+		t.Errorf("lookups = %d, want %d", got, 27+216+3)
+	}
+	if snapshots.Load() != 1 {
+		t.Errorf("stats source sampled %d times for one Stats call", snapshots.Load())
+	}
+}
+
 func TestEngineBatchOrderMatchesInput(t *testing.T) {
 	var calls atomic.Int32
 	// Earlier requests sleep longer, so completion order inverts input

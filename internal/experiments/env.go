@@ -60,6 +60,10 @@ type Config struct {
 	// Per-scene seeding and the monitor's per-call reseeding keep fleet
 	// output byte-identical across worker counts.
 	Workers int
+	// Grid is the E11 scenario grid; a grid spanning no axis (the zero
+	// value) falls back to scenario.DefaultAxes(). cmd/elbench shapes it
+	// with -grid/-axes.
+	Grid scenario.Axes
 }
 
 // DefaultConfig returns the full-scale configuration used by cmd/elbench.
@@ -243,6 +247,18 @@ func (e *Env) BayesianReplica() (*monitor.Bayesian, error) {
 	return b, nil
 }
 
+// GridAxes resolves the E11 scenario grid: Cfg.Grid when it spans at least
+// one axis, the reference scenario.DefaultAxes() otherwise. A partially
+// -configured grid is returned as-is — Axes.Enumerate rejects its empty
+// axes with a descriptive error rather than running a vacuous fleet.
+func (e *Env) GridAxes() scenario.Axes {
+	g := e.Cfg.Grid
+	if len(g.Layouts)+len(g.Densities)+len(g.Winds)+len(g.Failures)+len(g.Hours) > 0 {
+		return g
+	}
+	return scenario.DefaultAxes()
+}
+
 // Workers resolves the fleet worker-pool size.
 func (e *Env) Workers() int {
 	if e.Cfg.Workers > 0 {
@@ -269,7 +285,10 @@ func (e *Env) Engine() (*safeland.Engine, error) {
 
 // EngineWith builds an engine over the shared model with an arbitrary
 // selector backend — how the E8 strategy fleet runs every landing strategy
-// behind the same SelectBatch surface. workers <= 0 uses Workers().
+// behind the same SelectBatch surface. workers <= 0 uses Workers(). The
+// Env's scene corpus is attached as the engine's stats source, so
+// Engine.Stats reports the cache feeding the fleets (E11 asserts its grid
+// dedup through that surface).
 func (e *Env) EngineWith(factory safeland.SelectorFactory, workers int) (*safeland.Engine, error) {
 	if workers <= 0 {
 		workers = e.Workers()
@@ -278,6 +297,7 @@ func (e *Env) EngineWith(factory safeland.SelectorFactory, workers int) (*safela
 		safeland.WithSystem(e.System()),
 		safeland.WithSelector(factory),
 		safeland.WithWorkers(workers),
+		safeland.WithCorpusStats(e.Corpus.EngineStats),
 	)
 }
 
@@ -301,6 +321,7 @@ func All() []Experiment {
 		{ID: "E8", Title: "Section II-B.4 — landing strategy comparison (EL vs baselines)", Run: RunE8},
 		{ID: "E9", Title: "Section V-B — Bayesian inference timing: sub-image vs full frame", Run: RunE9},
 		{ID: "E10", Title: "Conclusion/future work — quantitative monitor study (τ, samples, σ, dropout)", Run: RunE10},
+		{ID: "E11", Title: "Grid coverage — mission fleets over the full scenario axes (2022 populated-area validation)", Run: RunE11},
 	}
 }
 

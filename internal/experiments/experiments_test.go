@@ -30,17 +30,14 @@ func quickEnv(t *testing.T) *Env {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 10 {
-		t.Fatalf("registry has %d experiments, want 10 (E1–E10)", len(exps))
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	if len(exps) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d (E1–E11)", len(exps), len(wantIDs))
 	}
 	seen := map[string]bool{}
 	for i, exp := range exps {
-		want := "E" + string(rune('1'+i))
-		if i == 9 {
-			want = "E10"
-		}
-		if exp.ID != want {
-			t.Errorf("experiment %d has ID %q, want %q", i, exp.ID, want)
+		if exp.ID != wantIDs[i] {
+			t.Errorf("experiment %d has ID %q, want %q", i, exp.ID, wantIDs[i])
 		}
 		if exp.Title == "" || exp.Run == nil {
 			t.Errorf("experiment %s incomplete", exp.ID)

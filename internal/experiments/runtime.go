@@ -40,7 +40,7 @@ func RunE5(e *Env, w io.Writer) error {
 		outs := make([]uav.Outcome, runs)
 		fleetRun(e.Workers(), runs, func(i int) {
 			rep, si := i/len(ds.Test), i%len(ds.Test)
-			m := missionOn(ds.Test[si], spec, eng)
+			m := missionOn(ds.Test[si], spec, eng, 18)
 			m.Wind = uav.NewWind(2, 0.5, 0.8, e.Cfg.Seed+int64(100*rep+si))
 			m.Failures = []uav.TimedFailure{{AtS: 5, Kind: fk, ClearAtS: clearTime(fk)}}
 			outs[i] = m.Run()
@@ -80,8 +80,9 @@ func clearTime(fk uav.FailureKind) float64 {
 	return 0
 }
 
-// missionOn builds the standard diagonal crossing mission over a scene.
-func missionOn(scene *urban.Scene, spec uav.Spec, planner uav.LandingPlanner) *uav.Mission {
+// missionOn builds the standard diagonal crossing mission over a scene at
+// the given local hour (the hour drives exposure densities at impact).
+func missionOn(scene *urban.Scene, spec uav.Spec, planner uav.LandingPlanner, hour float64) *uav.Mission {
 	wW, wH := scene.Layout.WorldW, scene.Layout.WorldH
 	return &uav.Mission{
 		Spec:  spec,
@@ -92,7 +93,7 @@ func missionOn(scene *urban.Scene, spec uav.Spec, planner uav.LandingPlanner) *u
 		},
 		Base:    [2]float64{wW * 0.08, wH * 0.08},
 		Planner: planner,
-		Hour:    18,
+		Hour:    hour,
 	}
 }
 

@@ -120,6 +120,11 @@ func exposureDensity(id string, c imaging.Class) float64 {
 	return urban.ClassDensity(c, 18)
 }
 
+// modalSeverity returns the most common severity in the histogram, breaking
+// ties toward the higher (more conservative) level and returning Negligible
+// for an empty histogram. Both E2's derived Table II ratings and the E11
+// per-axis marginals print through it, and the tie-break is load-bearing:
+// map iteration order must not leak into the byte-identical fleet reports.
 func modalSeverity(counts map[hazard.Severity]int) hazard.Severity {
 	best, bestN := hazard.Negligible, -1
 	for s, n := range counts {

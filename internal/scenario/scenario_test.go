@@ -204,12 +204,18 @@ func TestStreamHonorsCancellation(t *testing.T) {
 
 func TestAxesEnumerateDeterministicAndDeduplicated(t *testing.T) {
 	a := DefaultAxes()
-	first := a.Enumerate(64, 7)
-	second := a.Enumerate(64, 7)
+	first, err := a.Enumerate(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := a.Enumerate(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatal("enumeration is not deterministic")
 	}
-	wantLen := len(a.Layouts) * len(a.Densities) * len(a.Winds) * len(a.Failures) * len(a.Hours)
+	wantLen := a.Scenarios()
 	if len(first) != wantLen {
 		t.Fatalf("enumerated %d scenarios, want %d", len(first), wantLen)
 	}
@@ -226,9 +232,8 @@ func TestAxesEnumerateDeterministicAndDeduplicated(t *testing.T) {
 	// Wind and failure variants do not change the scene recipe, so the
 	// corpus collapses the grid to layout × density × hour distinct scenes
 	// — the dedup the shared cache exists for.
-	wantScenes := len(a.Layouts) * len(a.Densities) * len(a.Hours)
-	if len(keys) != wantScenes {
-		t.Fatalf("grid resolves to %d distinct scenes, want %d", len(keys), wantScenes)
+	if len(keys) != a.DistinctScenes() {
+		t.Fatalf("grid resolves to %d distinct scenes, want %d", len(keys), a.DistinctScenes())
 	}
 
 	// Seeds are content-derived: shrinking the grid must not reshuffle the
@@ -236,8 +241,12 @@ func TestAxesEnumerateDeterministicAndDeduplicated(t *testing.T) {
 	sub := a
 	sub.Winds = a.Winds[:1]
 	sub.Hours = a.Hours[:1]
+	subScens, err := sub.Enumerate(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	subSeeds := map[string]int64{}
-	for _, sc := range sub.Enumerate(64, 7) {
+	for _, sc := range subScens {
 		subSeeds[sc.Name] = sc.Spec.Seed
 	}
 	for _, sc := range first {
@@ -247,7 +256,11 @@ func TestAxesEnumerateDeterministicAndDeduplicated(t *testing.T) {
 	}
 
 	// A different base seed moves every scene.
-	for i, sc := range a.Enumerate(64, 8) {
+	reseeded, err := a.Enumerate(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range reseeded {
 		if sc.Spec.Seed == first[i].Spec.Seed {
 			t.Fatalf("scenario %q kept its seed across base seeds", sc.Name)
 		}

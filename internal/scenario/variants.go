@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
 
 	"safeland/internal/uav"
 	"safeland/internal/urban"
@@ -74,10 +75,16 @@ type Scenario struct {
 	// identity the per-scenario seed derives from.
 	Name    string
 	Spec    Spec
+	Layout  LayoutVariant
+	Density DensityVariant
 	Wind    WindVariant
 	Failure FailureVariant
 	Hour    float64
 }
+
+// HourName is the stable axis-value label for the scenario's time of day,
+// matching the segment used in Name.
+func (s Scenario) HourName() string { return fmt.Sprintf("h%.1f", s.Hour) }
 
 // WindSeed is the deterministic seed for this scenario's wind field. It
 // hashes the full scenario name, so two scenarios sharing a scene (same
@@ -119,13 +126,133 @@ func DefaultAxes() Axes {
 	}
 }
 
+// Scenarios returns the grid size — the product of the axis lengths (zero
+// when any axis is empty).
+func (a Axes) Scenarios() int {
+	return len(a.Layouts) * len(a.Densities) * len(a.Winds) * len(a.Failures) * len(a.Hours)
+}
+
+// DistinctScenes returns how many distinct scene specs the grid collapses
+// to under the corpus: wind and failure variants share a scene, so only
+// layout × density × hour cells generate.
+func (a Axes) DistinctScenes() int {
+	return len(a.Layouts) * len(a.Densities) * len(a.Hours)
+}
+
+// validate rejects a grid with an empty axis: the cross product would
+// silently enumerate zero scenarios, which reads as "nothing to validate"
+// instead of the configuration mistake it is.
+func (a Axes) validate() error {
+	var empty []string
+	if len(a.Layouts) == 0 {
+		empty = append(empty, "Layouts")
+	}
+	if len(a.Densities) == 0 {
+		empty = append(empty, "Densities")
+	}
+	if len(a.Winds) == 0 {
+		empty = append(empty, "Winds")
+	}
+	if len(a.Failures) == 0 {
+		empty = append(empty, "Failures")
+	}
+	if len(a.Hours) == 0 {
+		empty = append(empty, "Hours")
+	}
+	if len(empty) > 0 {
+		return fmt.Errorf("scenario: axes grid enumerates no scenarios: empty axis %s (every axis needs at least one variant)",
+			strings.Join(empty, ", "))
+	}
+	return nil
+}
+
+// Truncate returns a copy of the grid with every axis cut to its first n
+// variants; n < 1 keeps the grid unchanged. The copy shares the variant
+// values (they are treated as immutable presets).
+func (a Axes) Truncate(n int) Axes {
+	if n < 1 {
+		return a
+	}
+	out := a
+	if len(out.Layouts) > n {
+		out.Layouts = out.Layouts[:n]
+	}
+	if len(out.Densities) > n {
+		out.Densities = out.Densities[:n]
+	}
+	if len(out.Winds) > n {
+		out.Winds = out.Winds[:n]
+	}
+	if len(out.Failures) > n {
+		out.Failures = out.Failures[:n]
+	}
+	if len(out.Hours) > n {
+		out.Hours = out.Hours[:n]
+	}
+	return out
+}
+
+// TruncateAxis returns a copy of the grid with the named axis cut to its
+// first n variants. Axis names are lowercase plurals: layouts, densities,
+// winds, failures, hours. Unlike the clamp-style Truncate, a named request
+// is explicit, so n must be between 1 and the axis length — asking for
+// more variants than the grid defines is an error, not a silent clamp.
+// Because content-derived seeds never reshuffle a surviving combination,
+// truncation selects a sub-grid of the full one.
+func (a Axes) TruncateAxis(name string, n int) (Axes, error) {
+	if n < 1 {
+		return Axes{}, fmt.Errorf("scenario: axis %q needs at least one variant (got %d)", name, n)
+	}
+	out := a
+	var have int
+	switch name {
+	case "layouts":
+		if have = len(out.Layouts); have >= n {
+			out.Layouts = out.Layouts[:n]
+		}
+	case "densities":
+		if have = len(out.Densities); have >= n {
+			out.Densities = out.Densities[:n]
+		}
+	case "winds":
+		if have = len(out.Winds); have >= n {
+			out.Winds = out.Winds[:n]
+		}
+	case "failures":
+		if have = len(out.Failures); have >= n {
+			out.Failures = out.Failures[:n]
+		}
+	case "hours":
+		if have = len(out.Hours); have >= n {
+			out.Hours = out.Hours[:n]
+		}
+	default:
+		return Axes{}, fmt.Errorf("scenario: unknown axis %q (want layouts, densities, winds, failures or hours)", name)
+	}
+	if have < n {
+		return Axes{}, fmt.Errorf("scenario: axis %q has %d variants, cannot select %d", name, have, n)
+	}
+	return out, nil
+}
+
+// AxisNames returns the valid TruncateAxis names in enumeration order —
+// the vocabulary flag parsers iterate.
+func AxisNames() []string {
+	return []string{"layouts", "densities", "winds", "failures", "hours"}
+}
+
 // Enumerate crosses every axis into the scenario list at the given scene
 // size. Each scenario's seed derives from baseSeed and a hash of its
 // variant names — seed-keyed by content, so two runs of the same grid (or
 // the same combination inside two differently-shaped grids) land on the
-// same scenes and the corpus deduplicates them.
-func (a Axes) Enumerate(sizePx int, baseSeed int64) []Scenario {
-	var out []Scenario
+// same scenes and the corpus deduplicates them. A grid with an empty axis
+// is rejected with a descriptive error instead of enumerating an empty
+// fleet.
+func (a Axes) Enumerate(sizePx int, baseSeed int64) ([]Scenario, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Scenario, 0, a.Scenarios())
 	for _, lay := range a.Layouts {
 		for _, den := range a.Densities {
 			for _, wind := range a.Winds {
@@ -149,6 +276,8 @@ func (a Axes) Enumerate(sizePx int, baseSeed int64) []Scenario {
 						out = append(out, Scenario{
 							Name:    name,
 							Spec:    Spec{Cfg: cfg, Cond: cond, Seed: variantSeed(baseSeed, sceneName)},
+							Layout:  lay,
+							Density: den,
 							Wind:    wind,
 							Failure: fail,
 							Hour:    hour,
@@ -158,7 +287,7 @@ func (a Axes) Enumerate(sizePx int, baseSeed int64) []Scenario {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // lightingAt maps a local hour onto the renderer's lighting conditions.
