@@ -1,15 +1,21 @@
 # Developer workflow for the safeland reproduction.
 #
-#   make check      # tier-1 gate + race detector (shuffled) over the concurrent paths
-#   make bench      # benchmarks; engine + fleet numbers land in BENCH_*.json
-#   make grid       # E11 grid coverage standalone (quick scale)
-#   make fuzz-smoke # a few seconds of each fuzz target
+#   make check       # tier-1 gate + race detector (shuffled) + bench smoke
+#   make bench       # benchmarks; engine + fleet + hot-path numbers land in BENCH_*.json
+#   make bench-smoke # one iteration of each perception benchmark (keeps the harness honest)
+#   make grid        # E11 grid coverage standalone (quick scale)
+#   make fuzz-smoke  # a few seconds of each fuzz target
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-experiments bench grid fuzz-smoke
+# The perception hot-path benchmarks: conv forward (interior fast path +
+# scratch arena), conv backward, Monte-Carlo statistics (prefix reuse) and
+# the full monitor verdict. One regex so bench and bench-smoke never drift.
+NN_BENCH = ^(BenchmarkConvForwardSmall|BenchmarkConvForwardE8Scene|BenchmarkConvBackward|BenchmarkMCStats|BenchmarkVerifyRegion)$$
 
-check: fmt vet build race
+.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid fuzz-smoke
+
+check: fmt vet build race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -54,6 +60,12 @@ bench:
 	$(GO) test -bench=BenchmarkEngineBatch -benchtime=1x -run=^$$ -json . > BENCH_engine.json
 	$(GO) test -bench=BenchmarkExperimentE8 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
 	$(GO) test -bench=BenchmarkExperimentE11 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_grid.json
+	$(GO) test -bench='$(NN_BENCH)' -benchmem -run=^$$ -json ./internal/nn ./internal/monitor > BENCH_nn.json
+
+# One short iteration of each perception benchmark: cheap enough for every
+# check run, and it keeps the bench harness itself from rotting.
+bench-smoke:
+	$(GO) test -bench='$(NN_BENCH)' -benchmem -benchtime=1x -run=^$$ ./internal/nn ./internal/monitor
 
 # E11 grid coverage standalone: the full scenario-axes mission fleet at
 # quick scale (trains the quick model, then streams all 243 scenarios).
@@ -66,3 +78,4 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzZoneSelection -fuzztime=5s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzSpecKey -fuzztime=5s ./internal/scenario
 	$(GO) test -run=^$$ -fuzz=FuzzAxesEnumerate -fuzztime=5s ./internal/scenario
+	$(GO) test -run=^$$ -fuzz=FuzzConvForwardMatchesReference -fuzztime=5s ./internal/nn

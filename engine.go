@@ -11,6 +11,7 @@ import (
 
 	"safeland/internal/core"
 	"safeland/internal/imaging"
+	"safeland/internal/nn"
 	"safeland/internal/sora"
 	"safeland/internal/urban"
 )
@@ -161,6 +162,13 @@ func WithSelector(f SelectorFactory) Option {
 // WithWorkers sets the worker-pool size — the number of requests verified
 // in parallel. Values below 1 are clamped to 1. The default is
 // DefaultWorkers.
+//
+// The pool size also caps per-operation parallelism inside the perception
+// stack: NewEngine sets nn.SetParallelism to GOMAXPROCS/workers, so a
+// convolution inside a saturated N-worker pool fans out to a 1/N share of
+// the machine instead of oversubscribing it N-fold. The cap is
+// process-wide (the last constructed Engine wins) and never changes
+// results, only scheduling.
 func WithWorkers(n int) Option {
 	return func(c *engineConfig) { c.workers = n }
 }
@@ -172,6 +180,16 @@ func WithWorkers(n int) Option {
 // for concurrent use; nil detaches.
 func WithCorpusStats(fn func() CorpusStats) Option {
 	return func(c *engineConfig) { c.corpusStats = fn }
+}
+
+// perOpParallelism is each worker's share of the machine: GOMAXPROCS over
+// the pool size, at least 1.
+func perOpParallelism(workers int) int {
+	p := runtime.GOMAXPROCS(0) / workers
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // DefaultWorkers is the worker-pool size NewEngine uses when WithWorkers
@@ -240,8 +258,17 @@ func NewEngine(opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	default:
+		// Training wants the machine's full per-op fan-out; lift any cap a
+		// previously constructed Engine left behind before spending minutes
+		// under it.
+		nn.SetParallelism(0)
 		sys = NewSystem(cfg.train)
 	}
+
+	// The pool saturates the machine by itself: shrink per-op parallelism
+	// to its share so workers × GOMAXPROCS goroutines never pile up. Set
+	// after any in-process training above, which ran at the full fan-out.
+	nn.SetParallelism(perOpParallelism(cfg.workers))
 
 	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers), corpusStats: cfg.corpusStats}
 	for i := 0; i < cfg.workers; i++ {

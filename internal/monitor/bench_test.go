@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"safeland/internal/imaging"
+	"safeland/internal/segment"
+)
+
+// benchImage builds a deterministic synthetic crop at monitor-candidate
+// scale. Weights are untrained: inference cost does not depend on the
+// parameter values, only on the architecture and input size.
+func benchImage(side int) *imaging.Image {
+	rng := rand.New(rand.NewSource(7))
+	img := imaging.NewImage(side, side)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.RGB{R: rng.Float32(), G: rng.Float32(), B: rng.Float32()}
+	}
+	return img
+}
+
+func benchBayesian() *Bayesian {
+	cfg := segment.DefaultConfig()
+	return NewBayesian(segment.New(cfg), 42)
+}
+
+// BenchmarkMCStats times one full Monte-Carlo statistics pass (10 samples)
+// on a 64×64 candidate crop — the dominant cost of every monitor verdict.
+func BenchmarkMCStats(b *testing.B) {
+	bay := benchBayesian()
+	img := benchImage(64)
+	bay.MCStats(img) // warm caches outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bay.MCStats(img)
+	}
+}
+
+// BenchmarkVerifyRegion times the complete monitor verdict: Monte-Carlo
+// statistics plus the rule scan producing flags, flagged fraction and max
+// score.
+func BenchmarkVerifyRegion(b *testing.B) {
+	bay := benchBayesian()
+	img := benchImage(64)
+	rule := DefaultRule()
+	bay.VerifyRegion(img, rule)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bay.VerifyRegion(img, rule)
+	}
+}

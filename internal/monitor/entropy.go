@@ -1,11 +1,12 @@
 package monitor
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"safeland/internal/imaging"
 	"safeland/internal/nn"
-	"safeland/internal/segment"
 	"safeland/internal/urban"
 )
 
@@ -34,21 +35,15 @@ type EntropyStats struct {
 	MutualInformation *imaging.Map
 }
 
-// MCEntropyStats runs the same stochastic forward passes as MCStats and
-// additionally decomposes predictive uncertainty into aleatoric and
-// epistemic parts.
+// MCEntropyStats runs the same stochastic forward passes as MCStats —
+// including the deterministic-prefix reuse and arena-backed sample loop —
+// and additionally decomposes predictive uncertainty into aleatoric and
+// epistemic parts. The moment and entropy buffers are freshly allocated:
+// they escape to the caller.
 func (b *Bayesian) MCEntropyStats(img *imaging.Image) EntropyStats {
-	if b.Samples < 2 {
-		panic("monitor: need at least 2 MC samples")
-	}
-	nn.SetDropoutMode(b.Model.Net, nn.AlwaysOn)
-	defer nn.SetDropoutMode(b.Model.Net, nn.Auto)
-	nn.ReseedDropout(b.Model.Net, b.Seed)
-
 	var sum, sumSq *nn.Tensor
 	var expEnt *imaging.Map
-	for s := 0; s < b.Samples; s++ {
-		probs := nn.SoftmaxChannels(b.Model.Net.Forward(segment.ToTensor(img), false))
+	err := b.mcRun(context.Background(), img, func(probs *nn.Tensor) {
 		if sum == nil {
 			sum = probs.ZerosLike()
 			sumSq = probs.ZerosLike()
@@ -59,23 +54,17 @@ func (b *Bayesian) MCEntropyStats(img *imaging.Image) EntropyStats {
 			sumSq.Data[i] += v * v
 		}
 		accumulateEntropy(expEnt, probs)
+	})
+	if err != nil {
+		// Background never cancels; mcRun has no other error path.
+		panic(fmt.Sprintf("monitor: %v", err))
 	}
 	n := float32(b.Samples)
-	mean := sum
-	std := sumSq
-	for i := range mean.Data {
-		m := mean.Data[i] / n
-		mean.Data[i] = m
-		v := sumSq.Data[i]/n - m*m
-		if v < 0 {
-			v = 0
-		}
-		std.Data[i] = float32(math.Sqrt(float64(v)))
-	}
+	st := finalizeMoments(sum, sumSq, n)
 	for i := range expEnt.Pix {
 		expEnt.Pix[i] /= n
 	}
-	pred := entropyOf(mean)
+	pred := entropyOf(st.Mean)
 	mi := imaging.NewMap(img.W, img.H)
 	for i := range mi.Pix {
 		d := pred.Pix[i] - expEnt.Pix[i]
@@ -85,7 +74,7 @@ func (b *Bayesian) MCEntropyStats(img *imaging.Image) EntropyStats {
 		mi.Pix[i] = d
 	}
 	return EntropyStats{
-		Stats:             Stats{Mean: mean, Std: std},
+		Stats:             st,
 		Predictive:        pred,
 		Expected:          expEnt,
 		MutualInformation: mi,

@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"safeland/internal/imaging"
+	"safeland/internal/nn"
+	"safeland/internal/segment"
+)
+
+func noisyImage(side int, seed int64) *imaging.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := imaging.NewImage(side, side)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.RGB{R: rng.Float32(), G: rng.Float32(), B: rng.Float32()}
+	}
+	return img
+}
+
+// TestMCStatsMatchesNaiveReplay pins the deterministic-prefix fast path:
+// MCStats (prefix computed once, stochastic suffix replayed per sample)
+// must be byte-identical to the seed formulation that re-ran the whole
+// network on every Monte-Carlo sample.
+func TestMCStatsMatchesNaiveReplay(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 21)
+	b.Samples = 5
+	img := noisyImage(32, 22)
+
+	got := b.MCStats(img)
+
+	// Naive full replay, exactly as the seed implementation ran it.
+	nn.SetDropoutMode(m.Net, nn.AlwaysOn)
+	nn.ReseedDropout(m.Net, b.Seed)
+	var sum, sumSq *nn.Tensor
+	for s := 0; s < b.Samples; s++ {
+		probs := nn.SoftmaxChannels(m.Net.Forward(segment.ToTensor(img), false))
+		if sum == nil {
+			sum = probs.ZerosLike()
+			sumSq = probs.ZerosLike()
+		}
+		for i, v := range probs.Data {
+			sum.Data[i] += v
+			sumSq.Data[i] += v * v
+		}
+	}
+	nn.SetDropoutMode(m.Net, nn.Auto)
+	n := float32(b.Samples)
+	for i := range sum.Data {
+		mu := sum.Data[i] / n
+		sum.Data[i] = mu
+		v := sumSq.Data[i]/n - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		sumSq.Data[i] = float32(math.Sqrt(float64(v)))
+	}
+
+	for i := range sum.Data {
+		if got.Mean.Data[i] != sum.Data[i] {
+			t.Fatalf("mean[%d] = %v, naive replay %v", i, got.Mean.Data[i], sum.Data[i])
+		}
+		if got.Std.Data[i] != sumSq.Data[i] {
+			t.Fatalf("std[%d] = %v, naive replay %v", i, got.Std.Data[i], sumSq.Data[i])
+		}
+	}
+}
+
+// TestVerifyRegionMatchesTwoScanReference pins the fused statistics scan:
+// Verdict must be field-identical to the seed formulation (PixelFlags +
+// CountAbove + a separate MaxScore loop over At4).
+func TestVerifyRegionMatchesTwoScanReference(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 31)
+	b.Samples = 5
+	img := noisyImage(32, 32)
+
+	for _, rule := range []Rule{
+		DefaultRule(),
+		{Tau: 0.125, Sigmas: 3, MaxFlaggedFraction: 0.25},
+		{Tau: 0.5, Sigmas: 1, MaxFlaggedFraction: 1},
+		{Tau: 0.01, Sigmas: 5, MaxFlaggedFraction: 0},
+	} {
+		got := b.VerifyRegion(img, rule)
+
+		// Seed formulation: per-call reseeding makes the MC stream identical.
+		st := b.MCStats(img)
+		flags := rule.PixelFlags(st)
+		flagged := flags.CountAbove(0.5)
+		frac := float64(flagged) / float64(img.W*img.H)
+		var maxScore float32
+		_, c, h, w := st.Mean.Dims4()
+		for _, cls := range imaging.BusyRoadClasses() {
+			ci := int(cls)
+			if ci >= c {
+				continue
+			}
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					s := st.Mean.At4(0, ci, y, x) + rule.Sigmas*st.Std.At4(0, ci, y, x)
+					if s > maxScore {
+						maxScore = s
+					}
+				}
+			}
+		}
+
+		if got.Confirmed != (frac <= rule.MaxFlaggedFraction) {
+			t.Fatalf("rule %+v: Confirmed = %v", rule, got.Confirmed)
+		}
+		if got.FlaggedFraction != frac {
+			t.Fatalf("rule %+v: FlaggedFraction = %v, reference %v", rule, got.FlaggedFraction, frac)
+		}
+		if got.MaxScore != maxScore {
+			t.Fatalf("rule %+v: MaxScore = %v, reference %v", rule, got.MaxScore, maxScore)
+		}
+		for i := range flags.Pix {
+			if got.Flags.Pix[i] != flags.Pix[i] {
+				t.Fatalf("rule %+v: flag %d = %v, reference %v", rule, i, got.Flags.Pix[i], flags.Pix[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentReplicaArenasRace hammers one shared frozen model across
+// concurrent replicas, each with its own scratch arena: run under -race it
+// pins that arenas are truly per-replica and the prefix-reuse and fused
+// scans touch no shared mutable state. Every replica must produce the
+// reference verdict bit-for-bit.
+func TestConcurrentReplicaArenasRace(t *testing.T) {
+	src := tinyModel()
+	img := noisyImage(32, 41)
+	rule := DefaultRule()
+	rule.MaxFlaggedFraction = 0.5
+
+	ref := NewBayesian(src, 42)
+	ref.Samples = 4
+	want := ref.VerifyRegion(img, rule)
+	wantPred := src.Predict(img)
+
+	const replicas = 4
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan string, replicas*rounds)
+	for r := 0; r < replicas; r++ {
+		clone, err := src.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clone.Scratch() == src.Scratch() {
+			t.Fatal("clone shares the source's arena")
+		}
+		wg.Add(1)
+		go func(m *segment.Model) {
+			defer wg.Done()
+			bay := NewBayesian(m, 42)
+			bay.Samples = 4
+			for i := 0; i < rounds; i++ {
+				v := bay.VerifyRegion(img, rule)
+				if v.Confirmed != want.Confirmed || v.FlaggedFraction != want.FlaggedFraction || v.MaxScore != want.MaxScore {
+					errs <- "verdict diverged on a replica"
+					return
+				}
+				pred, err := m.PredictCtx(t.Context(), img)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for j := range pred.Pix {
+					if pred.Pix[j] != wantPred.Pix[j] {
+						errs <- "prediction diverged on a replica"
+						return
+					}
+				}
+			}
+		}(clone)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -62,43 +62,103 @@ func (b *Bayesian) MCStats(img *imaging.Image) Stats {
 // that completes is byte-identical whether or not earlier runs were
 // cancelled.
 func (b *Bayesian) MCStatsCtx(ctx context.Context, img *imaging.Image) (Stats, error) {
+	// No arena for the moment buffers: Mean and Std escape to the caller,
+	// who keeps them for as long as it likes.
+	return b.mcMoments(ctx, img, nil)
+}
+
+// mcRun drives the Monte-Carlo sample loop: dropout forced AlwaysOn and
+// reseeded, then the deterministic prefix — every layer before the first
+// Dropout, whose inference output cannot vary across samples — is computed
+// once and only the stochastic suffix is replayed per sample
+// (nn.SplitAtFirstDropout). Dropout layers draw exactly the same RNG
+// stream as a full replay, so the per-sample probabilities are
+// byte-identical to running the whole network each time; the prefix-reuse
+// tests pin this against a naive full replay.
+//
+// each borrows probs for the duration of the call only: the buffer returns
+// to the model's arena for the next sample.
+func (b *Bayesian) mcRun(ctx context.Context, img *imaging.Image, each func(probs *nn.Tensor)) error {
 	if b.Samples < 2 {
 		panic(fmt.Sprintf("monitor: need at least 2 MC samples, have %d", b.Samples))
 	}
-	nn.SetDropoutMode(b.Model.Net, nn.AlwaysOn)
-	defer nn.SetDropoutMode(b.Model.Net, nn.Auto)
-	nn.ReseedDropout(b.Model.Net, b.Seed)
+	net := b.Model.Net
+	nn.SetDropoutMode(net, nn.AlwaysOn)
+	defer nn.SetDropoutMode(net, nn.Auto)
+	nn.ReseedDropout(net, b.Seed)
 
-	in := segment.ToTensor(img)
-	var sum, sumSq *nn.Tensor
-	for s := 0; s < b.Samples; s++ {
-		out, err := nn.ForwardCtx(ctx, b.Model.Net, in, false)
+	sc := b.Model.Scratch()
+	in := segment.ToTensorScratch(img, sc)
+	stem, suffix := in, nn.Layer(net)
+	defer func() { sc.Put(stem) }()
+	if prefix, suf, ok := nn.SplitAtFirstDropout(net); ok {
+		out, err := nn.ForwardCtx(ctx, prefix, in, false)
 		if err != nil {
-			return Stats{}, err
+			return err
 		}
-		probs := nn.SoftmaxChannels(out)
+		stem, suffix = out, suf
+		if stem != in {
+			sc.Put(in)
+		}
+	}
+	for s := 0; s < b.Samples; s++ {
+		out, err := nn.ForwardCtx(ctx, suffix, stem, false)
+		if err != nil {
+			return err
+		}
+		probs := nn.SoftmaxChannelsInPlace(out)
+		each(probs)
+		if probs != stem {
+			sc.Put(probs)
+		}
+	}
+	return nil
+}
+
+// mcMoments accumulates per-pixel mean and standard deviation over the
+// Monte-Carlo samples. When sc is non-nil the moment buffers are drawn from
+// it — callers doing so must Put Mean and Std back once read, which is what
+// makes a steady-state VerifyRegionCtx allocation-free; pass nil when the
+// statistics escape.
+func (b *Bayesian) mcMoments(ctx context.Context, img *imaging.Image, sc *nn.Scratch) (Stats, error) {
+	var sum, sumSq *nn.Tensor
+	err := b.mcRun(ctx, img, func(probs *nn.Tensor) {
 		if sum == nil {
-			sum = probs.ZerosLike()
-			sumSq = probs.ZerosLike()
+			sum = sc.Get(probs.Shape...)
+			sum.Zero()
+			sumSq = sc.Get(probs.Shape...)
+			sumSq.Zero()
 		}
 		for i, v := range probs.Data {
 			sum.Data[i] += v
 			sumSq.Data[i] += v * v
 		}
+	})
+	if err != nil {
+		sc.Put(sum)
+		sc.Put(sumSq)
+		return Stats{}, err
 	}
-	n := float32(b.Samples)
-	mean := sum
-	std := sumSq
-	for i := range mean.Data {
-		m := mean.Data[i] / n
-		mean.Data[i] = m
-		v := sumSq.Data[i]/n - m*m
+	return finalizeMoments(sum, sumSq, float32(b.Samples)), nil
+}
+
+// finalizeMoments turns accumulated Σp and Σp² into the empirical mean and
+// standard deviation in place: sum becomes Mean, sumSq becomes Std (the
+// variance estimate is clamped at 0 before the square root — float32
+// cancellation can push it fractionally negative). Both moment consumers
+// (MCStats and the entropy decomposition) share this so the parity-pinned
+// math cannot drift between them.
+func finalizeMoments(sum, sumSq *nn.Tensor, samples float32) Stats {
+	for i := range sum.Data {
+		m := sum.Data[i] / samples
+		sum.Data[i] = m
+		v := sumSq.Data[i]/samples - m*m
 		if v < 0 {
 			v = 0
 		}
-		std.Data[i] = float32(math.Sqrt(float64(v)))
+		sumSq.Data[i] = float32(math.Sqrt(float64(v)))
 	}
-	return Stats{Mean: mean, Std: std}, nil
+	return Stats{Mean: sum, Std: sumSq}
 }
 
 // Rule is the conservative pixel-safety decision rule of the paper
@@ -124,21 +184,22 @@ func DefaultRule() Rule {
 
 // PixelFlags applies the rule to MC statistics and returns a binary map:
 // 1 where the pixel is flagged (possibly busy road), 0 where it is safe.
+// The scan walks the statistics' backing arrays directly; the flag decision
+// is the same µ + kσ > τ comparison in the same order as the per-pixel At4
+// formulation it replaces.
 func (r Rule) PixelFlags(st Stats) *imaging.Map {
 	_, c, h, w := st.Mean.Dims4()
 	out := imaging.NewMap(w, h)
+	mean, std := st.Mean.Data, st.Std.Data
 	for _, cls := range imaging.BusyRoadClasses() {
 		ci := int(cls)
 		if ci >= c {
 			continue
 		}
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				mu := st.Mean.At4(0, ci, y, x)
-				sd := st.Std.At4(0, ci, y, x)
-				if mu+r.Sigmas*sd > r.Tau {
-					out.Set(x, y, 1)
-				}
+		base := ci * h * w
+		for i, mu := range mean[base : base+h*w] {
+			if mu+r.Sigmas*std[base+i] > r.Tau {
+				out.Pix[i] = 1
 			}
 		}
 	}
@@ -175,31 +236,46 @@ func (b *Bayesian) VerifyRegion(sub *imaging.Image, rule Rule) Verdict {
 // VerifyRegionCtx is VerifyRegion with cooperative cancellation: a context
 // cancelled mid-trial aborts the remaining Monte-Carlo samples and returns
 // ctx's error with a zero Verdict.
+//
+// This is the serving hot path, so the two full-image scans the seed
+// implementation ran (Rule.PixelFlags plus a separate MaxScore loop) are
+// fused into one pass over the statistics' backing arrays, and the moment
+// buffers come from — and return to — the model replica's arena. The
+// Verdict fields are bit-identical to the two-scan formulation: the same
+// µ + kσ expression decides the flag, feeds the max, and is folded in the
+// same class-major pixel order.
 func (b *Bayesian) VerifyRegionCtx(ctx context.Context, sub *imaging.Image, rule Rule) (Verdict, error) {
-	st, err := b.MCStatsCtx(ctx, sub)
+	sc := b.Model.Scratch()
+	st, err := b.mcMoments(ctx, sub, sc)
 	if err != nil {
 		return Verdict{}, err
 	}
-	flags := rule.PixelFlags(st)
-	flagged := flags.CountAbove(0.5)
-	frac := float64(flagged) / float64(sub.W*sub.H)
-
-	var maxScore float32
 	_, c, h, w := st.Mean.Dims4()
+	mean, std := st.Mean.Data, st.Std.Data
+	flags := imaging.NewMap(w, h)
+	pix := flags.Pix
+	flagged := 0
+	var maxScore float32
 	for _, cls := range imaging.BusyRoadClasses() {
 		ci := int(cls)
 		if ci >= c {
 			continue
 		}
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				s := st.Mean.At4(0, ci, y, x) + rule.Sigmas*st.Std.At4(0, ci, y, x)
-				if s > maxScore {
-					maxScore = s
-				}
+		base := ci * h * w
+		for i, mu := range mean[base : base+h*w] {
+			s := mu + rule.Sigmas*std[base+i]
+			if s > maxScore {
+				maxScore = s
+			}
+			if s > rule.Tau && pix[i] == 0 {
+				pix[i] = 1
+				flagged++
 			}
 		}
 	}
+	sc.Put(st.Mean)
+	sc.Put(st.Std)
+	frac := float64(flagged) / float64(sub.W*sub.H)
 	return Verdict{
 		Confirmed:       frac <= rule.MaxFlaggedFraction,
 		FlaggedFraction: frac,

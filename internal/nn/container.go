@@ -5,17 +5,34 @@ import "fmt"
 // Sequential chains layers, feeding each output into the next.
 type Sequential struct {
 	Layers []Layer
+
+	sc *Scratch
 }
 
 // NewSequential builds a sequential container.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
-// Forward runs every layer in order.
+// Forward runs every layer in order. On inference passes with an arena
+// attached, each intermediate is recycled as soon as the next layer has
+// consumed it, so a steady-state forward allocates nothing.
 func (s *Sequential) Forward(x *Tensor, train bool) *Tensor {
+	in := x
 	for _, l := range s.Layers {
-		x = l.Forward(x, train)
+		next := l.Forward(x, train)
+		s.recycle(x, in, next, train)
+		x = next
 	}
 	return x
+}
+
+// recycle returns a consumed intermediate to the arena — never the chain
+// input (the caller owns it), never the tensor just produced, and never on
+// training passes, where Backward still needs the cached intermediates.
+func (s *Sequential) recycle(t, in, next *Tensor, train bool) {
+	if s.sc == nil || train || t == in || t == next {
+		return
+	}
+	s.sc.Put(t)
 }
 
 // Backward runs every layer's backward pass in reverse order.
@@ -50,6 +67,7 @@ type ParallelConcat struct {
 	Branches []Layer
 
 	branchC []int // channel count per branch, recorded at forward
+	sc      *Scratch
 }
 
 // NewParallelConcat builds a parallel-concat container.
@@ -68,12 +86,13 @@ func (p *ParallelConcat) Forward(x *Tensor, train bool) *Tensor {
 	for i, b := range p.Branches {
 		outs[i] = b.Forward(x, train)
 	}
-	return p.concat(outs)
+	return p.concat(outs, x, train)
 }
 
 // concat merges branch outputs along the channel dimension, recording the
-// per-branch channel counts for Backward.
-func (p *ParallelConcat) concat(outs []*Tensor) *Tensor {
+// per-branch channel counts for Backward. Consumed branch outputs are
+// recycled into the arena on inference passes (never the shared input x).
+func (p *ParallelConcat) concat(outs []*Tensor, x *Tensor, train bool) *Tensor {
 	n, _, h, w := outs[0].Dims4()
 	p.branchC = p.branchC[:0]
 	totalC := 0
@@ -85,7 +104,7 @@ func (p *ParallelConcat) concat(outs []*Tensor) *Tensor {
 		p.branchC = append(p.branchC, oc)
 		totalC += oc
 	}
-	out := NewTensor(n, totalC, h, w)
+	out := allocOut(p.sc, train, n, totalC, h, w)
 	cOff := 0
 	for _, o := range outs {
 		oc := o.Shape[1]
@@ -95,6 +114,9 @@ func (p *ParallelConcat) concat(outs []*Tensor) *Tensor {
 			copy(dst, src)
 		}
 		cOff += oc
+		if p.sc != nil && !train && o != x {
+			p.sc.Put(o)
+		}
 	}
 	return out
 }
@@ -137,6 +159,57 @@ func (p *ParallelConcat) Walk(v Visitor) {
 	for _, b := range p.Branches {
 		Walk(b, v)
 	}
+}
+
+// SplitAtFirstDropout splits a Sequential into a deterministic prefix (all
+// layers strictly before the first one containing a Dropout) and the
+// remaining stochastic suffix. This is the Monte-Carlo fast path: the
+// Bayesian monitor computes the prefix once per verdict and replays only
+// the suffix per dropout sample, which for the MSDnet stack removes
+// (Samples-1) stem evaluations without changing a single output bit —
+// running prefix then suffix is the same layer sequence as running l.
+//
+// Invariants the caller must hold:
+//   - prefix and suffix alias l's layer instances (weights, caches, dropout
+//     RNGs are shared — frozen clones stay frozen, SetDropoutMode and
+//     ReseedDropout on l are seen by the split). Do not run l and the split
+//     concurrently; they are the same single-goroutine replica.
+//   - the prefix is only reusable across samples because every non-Dropout
+//     layer in this package is deterministic at inference; a hypothetical
+//     stochastic layer other than Dropout would break the split.
+//
+// ok is false — and suffix is l itself — when l is not a Sequential, when
+// no layer contains a Dropout, or when the first layer already does (an
+// empty prefix buys nothing).
+func SplitAtFirstDropout(l Layer) (prefix, suffix Layer, ok bool) {
+	s, isSeq := l.(*Sequential)
+	if !isSeq {
+		return nil, l, false
+	}
+	split := -1
+	for i, sub := range s.Layers {
+		if containsDropout(sub) {
+			split = i
+			break
+		}
+	}
+	if split <= 0 {
+		return nil, l, false
+	}
+	return &Sequential{Layers: s.Layers[:split:split], sc: s.sc},
+		&Sequential{Layers: s.Layers[split:], sc: s.sc}, true
+}
+
+// containsDropout reports whether any primitive layer reachable from l is a
+// Dropout.
+func containsDropout(l Layer) bool {
+	found := false
+	Walk(l, func(p Layer) {
+		if _, ok := p.(*Dropout); ok {
+			found = true
+		}
+	})
+	return found
 }
 
 // SetDropoutMode sets the mode of every Dropout layer reachable from l.

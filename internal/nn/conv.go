@@ -9,6 +9,13 @@ import (
 // dilation. Dilation is the mechanism behind the paper's Multi-Scale-Dilation
 // net: parallel branches with dilation 1, 2, 4, ... observe the same input at
 // growing receptive fields without losing resolution.
+//
+// Forward and Backward split every row into an interior span — where all
+// kernel taps land inside the input, so the bounds checks are hoisted out of
+// the ky/kx loops entirely — and border spans that keep per-tap range
+// clamping. Both paths accumulate each output element in the exact
+// icc→ky→kx order of the naive reference loop (convRefForward in the
+// tests), so float32 results are byte-identical to the seed implementation.
 type Conv2D struct {
 	InC, OutC int
 	K         int // square kernel size
@@ -19,7 +26,8 @@ type Conv2D struct {
 	W *Param // [OutC, InC, K, K]
 	B *Param // [OutC]
 
-	x *Tensor // cached input for backward
+	x  *Tensor // cached input for backward
+	sc *Scratch
 }
 
 // NewConv2D constructs a convolution with He-initialized weights.
@@ -36,12 +44,34 @@ func NewConv2D(name string, inC, outC, k, stride, pad, dilation int, rng *rand.R
 	return c
 }
 
+func (c *Conv2D) setScratch(s *Scratch) { c.sc = s }
+
 // OutSize returns the output spatial size for an input of the given size.
 func (c *Conv2D) OutSize(h, w int) (oh, ow int) {
 	ext := (c.K-1)*c.Dilation + 1
 	oh = (h+2*c.Pad-ext)/c.Stride + 1
 	ow = (w+2*c.Pad-ext)/c.Stride + 1
 	return oh, ow
+}
+
+// tapRange returns the contiguous index range [lo, hi] of kernel taps t in
+// [0, count) whose sample position off + t*step stays inside [0, limit),
+// for step >= 1. hi < lo when no tap is valid. The valid taps are always
+// contiguous because the position is monotone in t — which is what lets the
+// inner loops drop per-tap bounds checks without changing which terms are
+// accumulated.
+func tapRange(off, step, count, limit int) (lo, hi int) {
+	lo, hi = 0, count-1
+	if off >= limit {
+		return 1, 0
+	}
+	if off < 0 {
+		lo = (-off + step - 1) / step
+	}
+	if last := off + hi*step; last >= limit {
+		hi = (limit - 1 - off) / step
+	}
+	return lo, hi
 }
 
 // Forward computes the convolution. The input is cached for Backward.
@@ -54,46 +84,154 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: conv output %dx%d non-positive for input %dx%d", oh, ow, h, w))
 	}
-	out := NewTensor(n, c.OutC, oh, ow)
-	c.x = x
+	out := allocOut(c.sc, train, n, c.OutC, oh, ow)
+	// Cache the input only when a Backward can legitimately follow: on
+	// training passes, or without an arena (the bare-layer gradient tests
+	// run eval-mode forwards). With an arena attached, an inference pass
+	// recycles x mid-chain, so a stale cache would feed Backward overwritten
+	// data — leave it nil and let Backward fail loudly instead.
+	if train || c.sc == nil {
+		c.x = x
+	} else {
+		c.x = nil
+	}
 
 	wdat := c.W.Value.Data
 	bdat := c.B.Value.Data
+	xd := x.Data
+	ext := (c.K - 1) * c.Dilation
+	// Interior column span [oxLo, oxHi]: every kx tap of these outputs lands
+	// inside the row, so the inner loops run unchecked over contiguous Data.
+	oxLo := 0
+	if c.Pad > 0 {
+		oxLo = (c.Pad + c.Stride - 1) / c.Stride
+	}
+	oxHi := -1
+	if num := w - 1 - ext + c.Pad; num >= 0 {
+		oxHi = num / c.Stride
+		if oxHi > ow-1 {
+			oxHi = ow - 1
+		}
+	}
+	border := oxLo // first border segment is [0, border)
+	if oxHi < oxLo {
+		border = ow // no interior: the whole row is border
+	}
+
 	// Parallelize over (batch, out-channel) pairs: disjoint output slices.
 	parallelFor(n*c.OutC, func(job int) {
 		bi, oc := job/c.OutC, job%c.OutC
 		bias := bdat[oc]
+		wOC := oc * c.InC * c.K * c.K
+		xB := bi * c.InC * h * w
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*c.Stride - c.Pad
+			kyLo, kyHi := tapRange(iy0, c.Dilation, c.K, h)
 			outRow := out.Data[((bi*c.OutC+oc)*oh+oy)*ow : ((bi*c.OutC+oc)*oh+oy+1)*ow]
-			for ox := 0; ox < ow; ox++ {
-				sum := bias
-				for icc := 0; icc < c.InC; icc++ {
-					wBase := ((oc*c.InC + icc) * c.K) * c.K
-					xBase := (bi*c.InC + icc) * h * w
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy*c.Stride - c.Pad + ky*c.Dilation
-						if iy < 0 || iy >= h {
-							continue
-						}
-						xRow := xBase + iy*w
-						wRow := wBase + ky*c.K
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox*c.Stride - c.Pad + kx*c.Dilation
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += wdat[wRow+kx] * x.Data[xRow+ix]
-						}
-					}
+			for ox := 0; ox < border; ox++ {
+				outRow[ox] = c.edgeAt(xd, wdat, bias, wOC, xB, h, w, iy0, kyLo, kyHi, ox)
+			}
+			if oxHi >= oxLo {
+				c.interiorRow(xd, wdat, outRow, bias, wOC, xB, h, w, iy0, kyLo, kyHi, oxLo, oxHi)
+				for ox := oxHi + 1; ox < ow; ox++ {
+					outRow[ox] = c.edgeAt(xd, wdat, bias, wOC, xB, h, w, iy0, kyLo, kyHi, ox)
 				}
-				outRow[ox] = sum
 			}
 		}
 	})
 	return out
 }
 
+// edgeAt computes one border output element: the valid ky/kx taps are
+// clamped to ranges once, then accumulated unchecked in icc→ky→kx order.
+func (c *Conv2D) edgeAt(xd, wdat []float32, bias float32, wOC, xB, h, w, iy0, kyLo, kyHi, ox int) float32 {
+	sum := bias
+	ix0 := ox*c.Stride - c.Pad
+	kxLo, kxHi := tapRange(ix0, c.Dilation, c.K, w)
+	if kxHi < kxLo || kyHi < kyLo {
+		return sum
+	}
+	kk := c.K * c.K
+	hw := h * w
+	for icc := 0; icc < c.InC; icc++ {
+		wBase := wOC + icc*kk
+		xBase := xB + icc*hw
+		for ky := kyLo; ky <= kyHi; ky++ {
+			iy := iy0 + ky*c.Dilation
+			xRow := xBase + iy*w + ix0
+			wRow := wBase + ky*c.K
+			for kx := kxLo; kx <= kxHi; kx++ {
+				sum += wdat[wRow+kx] * xd[xRow+kx*c.Dilation]
+			}
+		}
+	}
+	return sum
+}
+
+// interiorRow accumulates the interior span [lo, hi] of one output row.
+// Every tap is in bounds, so the hot loops are straight slices over
+// contiguous Data; per output element the additions still arrive in the
+// reference icc→ky→kx order, keeping the float32 sums byte-identical.
+func (c *Conv2D) interiorRow(xd, wdat, outRow []float32, bias float32, wOC, xB, h, w, iy0, kyLo, kyHi, lo, hi int) {
+	orow := outRow[lo : hi+1]
+	for i := range orow {
+		orow[i] = bias
+	}
+	if kyHi < kyLo {
+		return
+	}
+	d := c.Dilation
+	kk := c.K * c.K
+	hw := h * w
+	ix0 := lo*c.Stride - c.Pad // leftmost tap of output lo; >= 0 on the interior
+	for icc := 0; icc < c.InC; icc++ {
+		wBase := wOC + icc*kk
+		xBase := xB + icc*hw
+		for ky := kyLo; ky <= kyHi; ky++ {
+			iy := iy0 + ky*d
+			rowStart := xBase + iy*w + ix0
+			wRow := wBase + ky*c.K
+			switch {
+			case c.Stride == 1 && c.K == 3:
+				// The MSDnet workhorse: 3-tap kernel at stride 1, any
+				// dilation. Three fused rounds per element, in kx order.
+				w0, w1, w2 := wdat[wRow], wdat[wRow+1], wdat[wRow+2]
+				x0 := xd[rowStart : rowStart+len(orow)]
+				x1 := xd[rowStart+d : rowStart+d+len(orow)]
+				x2 := xd[rowStart+2*d : rowStart+2*d+len(orow)]
+				for i := range orow {
+					v := orow[i]
+					v += w0 * x0[i]
+					v += w1 * x1[i]
+					v += w2 * x2[i]
+					orow[i] = v
+				}
+			case c.Stride == 1:
+				for kx := 0; kx < c.K; kx++ {
+					wv := wdat[wRow+kx]
+					xr := xd[rowStart+kx*d : rowStart+kx*d+len(orow)]
+					for i := range xr {
+						orow[i] += wv * xr[i]
+					}
+				}
+			default:
+				for kx := 0; kx < c.K; kx++ {
+					wv := wdat[wRow+kx]
+					base := rowStart + kx*d
+					for i := range orow {
+						orow[i] += wv * xd[base+i*c.Stride]
+					}
+				}
+			}
+		}
+	}
+}
+
 // Backward accumulates dW and dB from the cached input and returns dX.
+// Like Forward, the dW and dX gathers hoist the bounds checks: valid output
+// (resp. kernel) positions are clamped to contiguous ranges outside the
+// inner loops, which then run unchecked — in the reference accumulation
+// order, so training gradients stay byte-identical too.
 func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 	x := c.x
 	if x == nil {
@@ -103,38 +241,50 @@ func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 	_, _, oh, ow := dout.Dims4()
 	dx := x.ZerosLike()
 	wdat := c.W.Value.Data
+	xd := x.Data
+	dd := dout.Data
+	kk := c.K * c.K
+	hw := h * w
+	ohw := oh * ow
 
 	// dB and dW: parallel over output channels (disjoint grad slices).
 	parallelFor(c.OutC, func(oc int) {
 		var db float32
 		for bi := 0; bi < n; bi++ {
-			base := (bi*c.OutC + oc) * oh * ow
-			for i := 0; i < oh*ow; i++ {
-				db += dout.Data[base+i]
+			base := (bi*c.OutC + oc) * ohw
+			for _, v := range dd[base : base+ohw] {
+				db += v
 			}
 		}
 		c.B.Grad.Data[oc] += db
 
 		for icc := 0; icc < c.InC; icc++ {
 			for ky := 0; ky < c.K; ky++ {
+				offY := ky*c.Dilation - c.Pad
+				oyLo, oyHi := tapRange(offY, c.Stride, oh, h)
 				for kx := 0; kx < c.K; kx++ {
+					offX := kx*c.Dilation - c.Pad
+					oxLo, oxHi := tapRange(offX, c.Stride, ow, w)
 					var dw float32
-					for bi := 0; bi < n; bi++ {
-						doutBase := (bi*c.OutC + oc) * oh * ow
-						xBase := (bi*c.InC + icc) * h * w
-						for oy := 0; oy < oh; oy++ {
-							iy := oy*c.Stride - c.Pad + ky*c.Dilation
-							if iy < 0 || iy >= h {
-								continue
-							}
-							dRow := doutBase + oy*ow
-							xRow := xBase + iy*w
-							for ox := 0; ox < ow; ox++ {
-								ix := ox*c.Stride - c.Pad + kx*c.Dilation
-								if ix < 0 || ix >= w {
-									continue
+					if oyHi >= oyLo && oxHi >= oxLo {
+						for bi := 0; bi < n; bi++ {
+							doutBase := (bi*c.OutC + oc) * ohw
+							xBase := (bi*c.InC + icc) * hw
+							for oy := oyLo; oy <= oyHi; oy++ {
+								iy := oy*c.Stride + offY
+								dRow := doutBase + oy*ow
+								xRow := xBase + iy*w + offX
+								if c.Stride == 1 {
+									dr := dd[dRow+oxLo : dRow+oxHi+1]
+									xr := xd[xRow+oxLo : xRow+oxHi+1]
+									for i, dv := range dr {
+										dw += dv * xr[i]
+									}
+								} else {
+									for ox := oxLo; ox <= oxHi; ox++ {
+										dw += dd[dRow+ox] * xd[xRow+ox*c.Stride]
+									}
 								}
-								dw += dout.Data[dRow+ox] * x.Data[xRow+ix]
 							}
 						}
 					}
@@ -144,34 +294,50 @@ func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 		}
 	})
 
-	// dX gather: parallel over (batch, in-channel) pairs.
+	// dX gather: parallel over (batch, in-channel) pairs. The ky/kx tap
+	// ranges are clamped per input row/column; only the stride-divisibility
+	// filter remains inside (and vanishes at stride 1).
 	parallelFor(n*c.InC, func(job int) {
 		bi, icc := job/c.InC, job%c.InC
-		dxBase := (bi*c.InC + icc) * h * w
+		dxBase := (bi*c.InC + icc) * hw
+		doutB := bi * c.OutC * ohw
 		for iy := 0; iy < h; iy++ {
+			kyHi := (iy + c.Pad) / c.Dilation
+			if kyHi > c.K-1 {
+				kyHi = c.K - 1
+			}
+			kyLo := 0
+			if over := iy + c.Pad - (oh-1)*c.Stride; over > 0 {
+				kyLo = (over + c.Dilation - 1) / c.Dilation
+			}
 			for ix := 0; ix < w; ix++ {
+				kxHi := (ix + c.Pad) / c.Dilation
+				if kxHi > c.K-1 {
+					kxHi = c.K - 1
+				}
+				kxLo := 0
+				if over := ix + c.Pad - (ow-1)*c.Stride; over > 0 {
+					kxLo = (over + c.Dilation - 1) / c.Dilation
+				}
 				var acc float32
-				for ky := 0; ky < c.K; ky++ {
+				for ky := kyLo; ky <= kyHi; ky++ {
 					ny := iy + c.Pad - ky*c.Dilation
-					if ny < 0 || ny%c.Stride != 0 {
+					if c.Stride > 1 && ny%c.Stride != 0 {
 						continue
 					}
 					oy := ny / c.Stride
-					if oy >= oh {
-						continue
-					}
-					for kx := 0; kx < c.K; kx++ {
+					wKy := icc*kk + ky*c.K
+					dKy := doutB + oy*ow
+					for kx := kxLo; kx <= kxHi; kx++ {
 						nx := ix + c.Pad - kx*c.Dilation
-						if nx < 0 || nx%c.Stride != 0 {
+						if c.Stride > 1 && nx%c.Stride != 0 {
 							continue
 						}
 						ox := nx / c.Stride
-						if ox >= ow {
-							continue
-						}
+						wIdx := wKy + kx
+						dIdx := dKy + ox
 						for oc := 0; oc < c.OutC; oc++ {
-							acc += wdat[((oc*c.InC+icc)*c.K+ky)*c.K+kx] *
-								dout.Data[((bi*c.OutC+oc)*oh+oy)*ow+ox]
+							acc += wdat[oc*c.InC*kk+wIdx] * dd[dIdx+oc*ohw]
 						}
 					}
 				}

@@ -25,13 +25,18 @@ func ForwardCtx(ctx context.Context, l Layer, x *Tensor, train bool) (*Tensor, e
 }
 
 // ForwardCtx implements ContextForwarder: the context is checked before
-// every layer in the chain.
+// every layer in the chain. Intermediates are recycled exactly like
+// Forward; on cancellation the last intermediate is simply left to the
+// garbage collector.
 func (s *Sequential) ForwardCtx(ctx context.Context, x *Tensor, train bool) (*Tensor, error) {
+	in := x
 	for _, l := range s.Layers {
-		var err error
-		if x, err = ForwardCtx(ctx, l, x, train); err != nil {
+		next, err := ForwardCtx(ctx, l, x, train)
+		if err != nil {
 			return nil, err
 		}
+		s.recycle(x, in, next, train)
+		x = next
 	}
 	return x, nil
 }
@@ -50,5 +55,5 @@ func (p *ParallelConcat) ForwardCtx(ctx context.Context, x *Tensor, train bool) 
 			return nil, err
 		}
 	}
-	return p.concat(outs), nil
+	return p.concat(outs, x, train), nil
 }

@@ -10,11 +10,14 @@ import (
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	sc   *Scratch
 }
+
+func (r *ReLU) setScratch(s *Scratch) { r.sc = s }
 
 // Forward zeroes negative activations.
 func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
-	out := x.Clone()
+	out := allocOut(r.sc, train, x.Shape...)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -22,6 +25,7 @@ func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
 	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -64,9 +68,13 @@ type Dropout struct {
 	Mode DropoutMode
 
 	mu   sync.Mutex
+	src  rand.Source
 	rng  *rand.Rand
 	mask []bool
+	sc   *Scratch
 }
+
+func (d *Dropout) setScratch(s *Scratch) { d.sc = s }
 
 // NewDropout constructs a dropout layer with its own seeded RNG so that
 // Monte-Carlo sampling is reproducible.
@@ -74,15 +82,23 @@ func NewDropout(p float64, seed int64) *Dropout {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("nn: dropout probability %v outside [0,1)", p))
 	}
-	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Dropout{P: p, src: src, rng: rand.New(src)}
 }
 
 // Reseed resets the layer RNG, making a subsequent Monte-Carlo sample
-// sequence reproducible.
+// sequence reproducible. The source is reseeded in place — Source.Seed
+// restores exactly the state a fresh NewSource(seed) would have, so the
+// stream is unchanged while the per-verdict reseeding stops allocating.
 func (d *Dropout) Reseed(seed int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.rng = rand.New(rand.NewSource(seed))
+	if d.src == nil {
+		d.src = rand.NewSource(seed)
+		d.rng = rand.New(d.src)
+		return
+	}
+	d.src.Seed(seed)
 }
 
 func (d *Dropout) active(train bool) bool {
@@ -96,13 +112,17 @@ func (d *Dropout) active(train bool) bool {
 	}
 }
 
-// Forward applies (or bypasses) the dropout mask.
+// Forward applies (or bypasses) the dropout mask. The output is always a
+// copy (arena-backed on inference passes), never the input itself.
 func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
 	if !d.active(train) || d.P == 0 {
 		d.mask = nil
-		return x.Clone()
+		out := allocOut(d.sc, train, x.Shape...)
+		copy(out.Data, x.Data)
+		return out
 	}
-	out := x.Clone()
+	out := allocOut(d.sc, train, x.Shape...)
+	copy(out.Data, x.Data)
 	if cap(d.mask) < len(x.Data) {
 		d.mask = make([]bool, len(x.Data))
 	}
@@ -157,7 +177,11 @@ type BatchNorm2D struct {
 	x        *Tensor
 	xhat     []float32
 	mean, vr []float32
+
+	sc *Scratch
 }
+
+func (bn *BatchNorm2D) setScratch(s *Scratch) { bn.sc = s }
 
 // NewBatchNorm2D constructs a batch norm over c channels.
 func NewBatchNorm2D(name string, c int) *BatchNorm2D {
@@ -181,7 +205,7 @@ func (bn *BatchNorm2D) Forward(x *Tensor, train bool) *Tensor {
 	if c != bn.C {
 		panic(fmt.Sprintf("nn: batchnorm expects %d channels, got %d", bn.C, c))
 	}
-	out := x.ZerosLike()
+	out := allocOut(bn.sc, train, x.Shape...)
 	cnt := float32(n * h * w)
 	if bn.mean == nil {
 		bn.mean = make([]float32, c)
@@ -287,13 +311,16 @@ func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 // It lets a stride-2 stem keep the output at input resolution.
 type Upsample2x struct {
 	inH, inW int
+	sc       *Scratch
 }
+
+func (u *Upsample2x) setScratch(s *Scratch) { u.sc = s }
 
 // Forward replicates each pixel into a 2×2 block.
 func (u *Upsample2x) Forward(x *Tensor, train bool) *Tensor {
 	n, c, h, w := x.Dims4()
 	u.inH, u.inW = h, w
-	out := NewTensor(n, c, h*2, w*2)
+	out := allocOut(u.sc, train, n, c, h*2, w*2)
 	parallelFor(n*c, func(job int) {
 		inBase := job * h * w
 		outBase := job * h * w * 4

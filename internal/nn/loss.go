@@ -8,8 +8,27 @@ import (
 // SoftmaxChannels applies a channel-wise softmax at every spatial location
 // of a 4-D logits tensor, producing per-pixel class probabilities.
 func SoftmaxChannels(logits *Tensor) *Tensor {
-	n, c, h, w := logits.Dims4()
 	out := logits.ZerosLike()
+	softmaxChannelsInto(out, logits)
+	return out
+}
+
+// SoftmaxChannelsInPlace overwrites a logits tensor with its channel-wise
+// softmax and returns it. The values are bit-identical to SoftmaxChannels —
+// each element of the column is read before it is written — but no output
+// tensor is allocated, which is what keeps the Monte-Carlo monitor loop
+// allocation-free: the network output buffer becomes the probability buffer
+// and returns to the arena after accumulation.
+func SoftmaxChannelsInPlace(logits *Tensor) *Tensor {
+	softmaxChannelsInto(logits, logits)
+	return logits
+}
+
+// softmaxChannelsInto computes the channel softmax of logits into out,
+// which may alias logits: within one (bi, y, x) column every logit is read
+// before its slot in out is written, and columns are independent.
+func softmaxChannelsInto(out, logits *Tensor) {
+	n, c, h, w := logits.Dims4()
 	parallelFor(n*h, func(job int) {
 		bi, y := job/h, job%h
 		for x := 0; x < w; x++ {
@@ -33,7 +52,6 @@ func SoftmaxChannels(logits *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // ArgmaxChannels returns the per-pixel argmax class of a 4-D scores tensor

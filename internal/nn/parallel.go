@@ -3,13 +3,47 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelFor runs fn(i) for i in [0, n) across up to GOMAXPROCS workers.
+// parallelCap caps per-op goroutine fan-out; 0 means GOMAXPROCS.
+var parallelCap atomic.Int32
+
+// SetParallelism caps how many goroutines a single nn operation (one
+// convolution, one batch norm, one softmax) fans out to. n <= 0 restores
+// the default, GOMAXPROCS. Values above GOMAXPROCS are no-ops: the cap only
+// ever shrinks the fan-out.
+//
+// The cap is process-wide. Its purpose is to stop nested oversubscription
+// when a serving pool already saturates the machine: N Engine workers ×
+// GOMAXPROCS goroutines per conv thrash the scheduler, so
+// safeland.NewEngine sets the cap to GOMAXPROCS/workers and each op takes a
+// 1/N share instead. The last constructed Engine wins; single-model callers
+// that want full per-op parallelism back call SetParallelism(0).
+//
+// The cap never changes results: parallelFor work items write disjoint
+// memory and each item's accumulation order is internal to the item.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelCap.Store(int32(n))
+}
+
+// Parallelism reports the effective per-op goroutine limit.
+func Parallelism() int {
+	max := runtime.GOMAXPROCS(0)
+	if c := int(parallelCap.Load()); c > 0 && c < max {
+		return c
+	}
+	return max
+}
+
+// parallelFor runs fn(i) for i in [0, n) across up to Parallelism() workers.
 // Work items must write to disjoint memory. Small loops run inline to avoid
 // goroutine overhead.
 func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}

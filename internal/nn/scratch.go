@@ -1,0 +1,115 @@
+package nn
+
+// Scratch is a per-replica arena of reusable tensor buffers, keyed by
+// element count. It exists so steady-state inference — the Engine serving
+// loop, the Bayesian monitor's Monte-Carlo trials — stops allocating: every
+// layer output is drawn from the arena and returned to it as soon as the
+// next layer has consumed it.
+//
+// Get hands out buffers with uninitialized contents; this is safe because
+// every layer in this package fully overwrites its output, which is also
+// what keeps arena-backed forward passes bit-identical to fresh-allocation
+// ones. Callers that accumulate (+=) must Zero the buffer first.
+//
+// A Scratch is deliberately unsynchronized: it belongs to exactly one model
+// replica, and a replica is single-goroutine by contract (forward passes
+// cache per-layer state). Concurrent servers give each worker its own
+// replica and therefore its own arena — arenas are never shared. The race
+// tests hammer N replicas of one frozen model concurrently to pin this.
+type Scratch struct {
+	free map[int][]*Tensor
+
+	gets, misses int
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch {
+	return &Scratch{free: make(map[int][]*Tensor)}
+}
+
+// Get returns a tensor with the given shape, reusing a free buffer of the
+// same element count when one is available. The contents are NOT zeroed on
+// reuse. A nil Scratch degrades to a plain allocation, so optional arenas
+// need no call-site guards.
+func (s *Scratch) Get(shape ...int) *Tensor {
+	if s == nil {
+		return NewTensor(shape...)
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	s.gets++
+	if l := s.free[n]; len(l) > 0 {
+		t := l[len(l)-1]
+		l[len(l)-1] = nil
+		s.free[n] = l[:len(l)-1]
+		t.Shape = append(t.Shape[:0], shape...)
+		return t
+	}
+	s.misses++
+	return NewTensor(shape...)
+}
+
+// Put returns a buffer to the arena for reuse. The caller must not touch t
+// afterwards: the next Get of the same element count may hand it to someone
+// else. Put accepts tensors that did not come from Get — they simply join
+// the pool. Nil Scratch and nil tensor are no-ops.
+func (s *Scratch) Put(t *Tensor) {
+	if s == nil || t == nil {
+		return
+	}
+	n := len(t.Data)
+	s.free[n] = append(s.free[n], t)
+}
+
+// Reuses reports how many Get calls were served from the free list — the
+// steady-state metric the arena tests pin (after warmup, every Get should
+// be a reuse).
+func (s *Scratch) Reuses() int {
+	if s == nil {
+		return 0
+	}
+	return s.gets - s.misses
+}
+
+// allocOut returns a layer-output tensor: from the arena on inference
+// passes when one is attached, freshly allocated otherwise. Training passes
+// never draw from the arena — Backward needs the cached intermediates to
+// stay untouched, and recycling only happens on inference chains.
+func allocOut(sc *Scratch, train bool, shape ...int) *Tensor {
+	if sc == nil || train {
+		return NewTensor(shape...)
+	}
+	return sc.Get(shape...)
+}
+
+// scratchUser is implemented by primitive layers that can draw their
+// outputs from a per-replica arena.
+type scratchUser interface {
+	setScratch(s *Scratch)
+}
+
+// AttachScratch hands every layer reachable from l the arena to allocate
+// its inference outputs from. Containers both receive the arena (they
+// recycle consumed intermediates into it) and forward it to their
+// sub-layers. Attach one arena per model replica; never share an arena
+// between replicas that run concurrently.
+func AttachScratch(l Layer, s *Scratch) {
+	switch v := l.(type) {
+	case *Sequential:
+		v.sc = s
+		for _, sub := range v.Layers {
+			AttachScratch(sub, s)
+		}
+	case *ParallelConcat:
+		v.sc = s
+		for _, b := range v.Branches {
+			AttachScratch(b, s)
+		}
+	default:
+		if u, ok := l.(scratchUser); ok {
+			u.setScratch(s)
+		}
+	}
+}

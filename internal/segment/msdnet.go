@@ -60,6 +60,12 @@ type Model struct {
 	// frozen marks a shared-weights clone: its parameters alias another
 	// model's and must never be written. Train rejects frozen models.
 	frozen bool
+
+	// scratch is this replica's tensor arena: inference outputs are drawn
+	// from it and recycled, so steady-state prediction allocates nothing.
+	// It is single-goroutine like the model itself; Clone gives every
+	// replica its own arena.
+	scratch *nn.Scratch
 }
 
 // New builds an MSDnet with freshly initialized weights.
@@ -100,8 +106,16 @@ func New(cfg Config) *Model {
 	if cfg.Downsample {
 		layers = append(layers, &nn.Upsample2x{})
 	}
-	return &Model{Net: nn.NewSequential(layers...), Cfg: cfg}
+	m := &Model{Net: nn.NewSequential(layers...), Cfg: cfg, scratch: nn.NewScratch()}
+	nn.AttachScratch(m.Net, m.scratch)
+	return m
 }
+
+// Scratch returns the model's per-replica tensor arena. Callers that hold
+// the model may draw buffers from it and must return only buffers they
+// exclusively own; tensors escaping to API callers are simply never Put
+// back.
+func (m *Model) Scratch() *nn.Scratch { return m.scratch }
 
 // ParamCount returns the total number of trainable scalars.
 func (m *Model) ParamCount() int {
@@ -114,14 +128,19 @@ func (m *Model) ParamCount() int {
 
 // ToTensor converts an RGB image into a centered [1,3,H,W] input tensor.
 func ToTensor(img *imaging.Image) *nn.Tensor {
-	t := nn.NewTensor(1, 3, img.H, img.W)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			p := img.At(x, y)
-			t.Set4(0, 0, y, x, p.R-0.5)
-			t.Set4(0, 1, y, x, p.G-0.5)
-			t.Set4(0, 2, y, x, p.B-0.5)
-		}
+	return ToTensorScratch(img, nil)
+}
+
+// ToTensorScratch is ToTensor drawing the tensor from an arena (nil falls
+// back to a fresh allocation). Every element is written, so arena reuse is
+// value-identical.
+func ToTensorScratch(img *imaging.Image, sc *nn.Scratch) *nn.Tensor {
+	t := sc.Get(1, 3, img.H, img.W)
+	hw := img.H * img.W
+	for i, p := range img.Pix {
+		t.Data[i] = p.R - 0.5
+		t.Data[hw+i] = p.G - 0.5
+		t.Data[2*hw+i] = p.B - 0.5
 	}
 	return t
 }
@@ -135,22 +154,31 @@ func (m *Model) checkEven(img *imaging.Image) {
 }
 
 // Logits runs a deterministic forward pass (dropout inactive) and returns
-// raw per-class scores [1,C,H,W].
+// raw per-class scores [1,C,H,W]. The result may come from the model's
+// arena; the caller owns it (it is never handed out again).
 func (m *Model) Logits(img *imaging.Image) *nn.Tensor {
 	m.checkEven(img)
-	return m.Net.Forward(ToTensor(img), false)
+	in := ToTensorScratch(img, m.scratch)
+	out := m.Net.Forward(in, false)
+	if out != in {
+		m.scratch.Put(in)
+	}
+	return out
 }
 
 // PredictProbs returns per-pixel class probabilities [1,C,H,W] from a
 // deterministic forward pass — the paper's "standard version" of the model,
 // whose softmax scores are point estimates with no confidence semantics.
 func (m *Model) PredictProbs(img *imaging.Image) *nn.Tensor {
-	return nn.SoftmaxChannels(m.Logits(img))
+	return nn.SoftmaxChannelsInPlace(m.Logits(img))
 }
 
 // Predict returns the per-pixel argmax segmentation.
 func (m *Model) Predict(img *imaging.Image) *imaging.LabelMap {
-	return labelMap(m.Logits(img), img.W, img.H)
+	scores := m.Logits(img)
+	lm := labelMap(scores, img.W, img.H)
+	m.scratch.Put(scores) // the label map copied everything out
+	return lm
 }
 
 // LogitsCtx is Logits with cooperative cancellation: the context is honored
@@ -158,7 +186,15 @@ func (m *Model) Predict(img *imaging.Image) *imaging.LabelMap {
 // layer's work instead of the full forward pass.
 func (m *Model) LogitsCtx(ctx context.Context, img *imaging.Image) (*nn.Tensor, error) {
 	m.checkEven(img)
-	return nn.ForwardCtx(ctx, m.Net, ToTensor(img), false)
+	in := ToTensorScratch(img, m.scratch)
+	out, err := nn.ForwardCtx(ctx, m.Net, in, false)
+	if err != nil {
+		return nil, err
+	}
+	if out != in {
+		m.scratch.Put(in)
+	}
+	return out, nil
 }
 
 // PredictCtx is Predict with cooperative cancellation; see LogitsCtx.
@@ -167,7 +203,9 @@ func (m *Model) PredictCtx(ctx context.Context, img *imaging.Image) (*imaging.La
 	if err != nil {
 		return nil, err
 	}
-	return labelMap(scores, img.W, img.H), nil
+	lm := labelMap(scores, img.W, img.H)
+	m.scratch.Put(scores)
+	return lm, nil
 }
 
 func labelMap(scores *nn.Tensor, w, h int) *imaging.LabelMap {
