@@ -4,6 +4,7 @@
 #   make bench       # benchmarks; engine + fleet + hot-path numbers land in BENCH_*.json
 #   make bench-smoke # one iteration of each perception benchmark (keeps the harness honest)
 #   make grid        # E11 grid coverage standalone (quick scale)
+#   make e12         # E12 full-frame monitoring standalone (quick scale)
 #   make fuzz-smoke  # a few seconds of each fuzz target
 
 GO ?= go
@@ -13,7 +14,14 @@ GO ?= go
 # the full monitor verdict. One regex so bench and bench-smoke never drift.
 NN_BENCH = ^(BenchmarkConvForwardSmall|BenchmarkConvForwardE8Scene|BenchmarkConvBackward|BenchmarkMCStats|BenchmarkVerifyRegion)$$
 
-.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid fuzz-smoke
+# The frame-context benchmarks: a crop verdict served from an already-primed
+# frame stem, and the tiled whole-frame verdict E12's acceptance budget is
+# written against — BenchmarkFullFrameVerdict's "crop-verdicts" metric
+# (whole frame measured against an interleaved single-crop MCStats pass,
+# so machine-load drift cancels out of the ratio) must stay < 10.
+MONITOR_BENCH = ^(BenchmarkMCStats|BenchmarkCropVerdictCachedStem|BenchmarkFullFrameVerdict)$$
+
+.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid e12 fuzz-smoke
 
 check: fmt vet build race bench-smoke
 
@@ -61,16 +69,23 @@ bench:
 	$(GO) test -bench=BenchmarkExperimentE8 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
 	$(GO) test -bench=BenchmarkExperimentE11 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_grid.json
 	$(GO) test -bench='$(NN_BENCH)' -benchmem -run=^$$ -json ./internal/nn ./internal/monitor > BENCH_nn.json
+	$(GO) test -bench='$(MONITOR_BENCH)' -benchmem -benchtime=10x -run=^$$ -json ./internal/monitor > BENCH_monitor.json
 
 # One short iteration of each perception benchmark: cheap enough for every
 # check run, and it keeps the bench harness itself from rotting.
 bench-smoke:
 	$(GO) test -bench='$(NN_BENCH)' -benchmem -benchtime=1x -run=^$$ ./internal/nn ./internal/monitor
+	$(GO) test -bench='$(MONITOR_BENCH)' -benchmem -benchtime=1x -run=^$$ ./internal/monitor
 
 # E11 grid coverage standalone: the full scenario-axes mission fleet at
 # quick scale (trains the quick model, then streams all 243 scenarios).
 grid:
 	$(GO) run ./cmd/elbench -quick -run E11
+
+# E12 full-frame monitoring standalone: crop-only vs whole-frame Bayesian
+# verdicts over a shared per-frame stem, at quick scale.
+e12:
+	$(GO) run ./cmd/elbench -quick -run E12
 
 # A few seconds of coverage-guided input generation per fuzz target — the
 # cheap regression pass; leave the long campaigns to dedicated runs.
@@ -79,3 +94,4 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSpecKey -fuzztime=5s ./internal/scenario
 	$(GO) test -run=^$$ -fuzz=FuzzAxesEnumerate -fuzztime=5s ./internal/scenario
 	$(GO) test -run=^$$ -fuzz=FuzzConvForwardMatchesReference -fuzztime=5s ./internal/nn
+	$(GO) test -run=^$$ -fuzz=FuzzCropStemMatchesPrefix -fuzztime=5s ./internal/nn

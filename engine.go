@@ -163,12 +163,14 @@ func WithSelector(f SelectorFactory) Option {
 // in parallel. Values below 1 are clamped to 1. The default is
 // DefaultWorkers.
 //
-// The pool size also caps per-operation parallelism inside the perception
-// stack: NewEngine sets nn.SetParallelism to GOMAXPROCS/workers, so a
-// convolution inside a saturated N-worker pool fans out to a 1/N share of
-// the machine instead of oversubscribing it N-fold. The cap is
-// process-wide (the last constructed Engine wins) and never changes
-// results, only scheduling.
+// The pool size also shrinks per-operation parallelism inside the
+// perception stack: NewEngine registers its workers with
+// nn.ReserveWorkers, so a convolution inside a saturated N-worker pool
+// fans out to a 1/N share of the machine instead of oversubscribing it
+// N-fold. Reservations are additive across Engines in one process — two
+// pools split the machine between them instead of clobbering each other —
+// and Engine.Close returns the engine's share. Neither changes results,
+// only scheduling.
 func WithWorkers(n int) Option {
 	return func(c *engineConfig) { c.workers = n }
 }
@@ -180,16 +182,6 @@ func WithWorkers(n int) Option {
 // for concurrent use; nil detaches.
 func WithCorpusStats(fn func() CorpusStats) Option {
 	return func(c *engineConfig) { c.corpusStats = fn }
-}
-
-// perOpParallelism is each worker's share of the machine: GOMAXPROCS over
-// the pool size, at least 1.
-func perOpParallelism(workers int) int {
-	p := runtime.GOMAXPROCS(0) / workers
-	if p < 1 {
-		p = 1
-	}
-	return p
 }
 
 // DefaultWorkers is the worker-pool size NewEngine uses when WithWorkers
@@ -225,6 +217,8 @@ type Engine struct {
 	workers  int
 	selector string
 	replicas chan Selector
+	// release returns this pool's nn.ReserveWorkers share; idempotent.
+	release func()
 
 	corpusStats func() CorpusStats
 
@@ -258,22 +252,23 @@ func NewEngine(opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	default:
-		// Training wants the machine's full per-op fan-out; lift any cap a
-		// previously constructed Engine left behind before spending minutes
-		// under it.
-		nn.SetParallelism(0)
+		// In-process training runs before this pool reserves its share, so
+		// it fans out to whatever the machine has left: the full machine
+		// when no other Engine is serving, a fair fraction otherwise.
 		sys = NewSystem(cfg.train)
 	}
 
-	// The pool saturates the machine by itself: shrink per-op parallelism
-	// to its share so workers × GOMAXPROCS goroutines never pile up. Set
-	// after any in-process training above, which ran at the full fan-out.
-	nn.SetParallelism(perOpParallelism(cfg.workers))
+	// The pool saturates the machine by itself: reserve its worker count so
+	// per-op parallelism shrinks to a 1/N share and workers × GOMAXPROCS
+	// goroutines never pile up. The reservation is additive across Engines
+	// and returned by Close.
+	release := nn.ReserveWorkers(cfg.workers)
 
-	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers), corpusStats: cfg.corpusStats}
+	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers), release: release, corpusStats: cfg.corpusStats}
 	for i := 0; i < cfg.workers; i++ {
 		rep, err := sys.Replica()
 		if err != nil {
+			release()
 			return nil, fmt.Errorf("safeland: building worker %d: %w", i, err)
 		}
 		if cfg.samples > 0 {
@@ -281,6 +276,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		}
 		sel, err := cfg.factory(rep)
 		if err != nil {
+			release()
 			return nil, fmt.Errorf("safeland: building worker %d: %w", i, err)
 		}
 		if i == 0 {
@@ -289,6 +285,19 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		e.replicas <- sel
 	}
 	return e, nil
+}
+
+// Close returns the engine's per-op parallelism reservation to the
+// process-wide registry, restoring the machine share of any other Engine
+// still serving. It is idempotent, never fails, and does not tear down the
+// worker pool — a closed engine keeps serving, it just no longer counts
+// toward the parallelism split. Callers that build short-lived Engines
+// (experiments, tests) should defer Close.
+func (e *Engine) Close() error {
+	if e.release != nil {
+		e.release()
+	}
+	return nil
 }
 
 // System returns the engine's source system (model, monitor, vehicle

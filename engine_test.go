@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"safeland/internal/baseline"
 	"safeland/internal/core"
+	"safeland/internal/nn"
 	"safeland/internal/segment"
 	"safeland/internal/uav"
 	"safeland/internal/urban"
@@ -672,4 +675,94 @@ func TestSystemReplicaIsIndependentAndIdentical(t *testing.T) {
 	if !reflect.DeepEqual(a.Pix, b.Pix) {
 		t.Error("replica predicts differently from the original")
 	}
+}
+
+// TestTwoEnginesShareParallelismRegistry is the regression test for the
+// process-wide nn.SetParallelism clobber: a second Engine used to overwrite
+// the first's per-op cap, and closing either removed the cap entirely. With
+// the ReserveWorkers registry the pools' worker counts add, each operation
+// takes a share of the machine proportional to the total, and Close returns
+// exactly the closing engine's share.
+func TestTwoEnginesShareParallelismRegistry(t *testing.T) {
+	sys := quickSystem(t)
+	// The container may expose a single CPU, which would collapse every
+	// share to 1; pin a machine large enough for distinct shares.
+	prevProcs := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	// Other tests may hold reservations of their own; assert deltas from
+	// this base and derive expected shares from the asserted totals.
+	base := nn.ReservedWorkers()
+	expectShare := func(reserved int) int {
+		eff := runtime.GOMAXPROCS(0)
+		if reserved > 0 {
+			eff /= reserved
+			if eff < 1 {
+				eff = 1
+			}
+		}
+		return eff
+	}
+	check := func(stage string, wantReserved int) {
+		t.Helper()
+		if got := nn.ReservedWorkers(); got != wantReserved {
+			t.Fatalf("%s: reserved workers = %d, want %d", stage, got, wantReserved)
+		}
+		if got, want := nn.Parallelism(), expectShare(wantReserved); got != want {
+			t.Fatalf("%s: per-op parallelism = %d, want %d", stage, got, want)
+		}
+	}
+
+	eng1, err := NewEngine(WithSystem(sys), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng1.Close()
+	check("after first engine", base+2)
+
+	eng2, err := NewEngine(WithSystem(sys), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	// The old clobber would report GOMAXPROCS/4 here regardless of eng1.
+	check("after second engine", base+6)
+
+	// Both pools serving at once — the -race run guards the registry and
+	// the shared frozen weights under genuine concurrent perception work.
+	cfg := urban.DefaultConfig()
+	cfg.W, cfg.H = 128, 128
+	scene := urban.Generate(cfg, urban.DefaultConditions(), 91)
+	reqs := []SelectRequest{
+		{Image: scene.Image, MPP: scene.MPP},
+		{Image: scene.Image, MPP: scene.MPP},
+	}
+	var wg sync.WaitGroup
+	for _, eng := range []*Engine{eng1, eng2} {
+		wg.Add(1)
+		go func(eng *Engine) {
+			defer wg.Done()
+			for i, resp := range eng.SelectBatch(context.Background(), reqs) {
+				if resp.Err != nil {
+					t.Errorf("concurrent batch request %d: %v", i, resp.Err)
+				}
+			}
+		}(eng)
+	}
+	wg.Wait()
+
+	// Closing one engine restores the other's share — the old code reset
+	// the cap to "unlimited" for everyone instead.
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check("after closing second engine", base+2)
+	if err := eng2.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	check("after double-close", base+2)
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check("after closing both", base)
 }

@@ -334,3 +334,33 @@ func TestLandable(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineTrialVerdictsMatchNaivePath pins the pipeline's frame-context
+// integration: every verdict recorded in a selection's trials must be
+// byte-identical to the naive per-crop VerifyRegion over the candidate's
+// CropRect — the stem cache is a cost optimization, never a behavior change.
+func TestPipelineTrialVerdictsMatchNaivePath(t *testing.T) {
+	p, scenes := trainedPipeline(t)
+	trialsChecked := 0
+	for _, s := range scenes {
+		res := p.SelectAndVerify(s.Image, s.MPP)
+		for ti, trial := range res.Trials {
+			x0, y0, size := trial.Candidate.CropRect(s.Image.W, s.Image.H)
+			want := p.Monitor.VerifyRegion(s.Image.Crop(x0, y0, size, size), p.Rule)
+			got := trial.Verdict
+			if got.Confirmed != want.Confirmed || got.FlaggedFraction != want.FlaggedFraction ||
+				got.MaxScore != want.MaxScore {
+				t.Fatalf("trial %d verdict diverged from naive path:\n  got:  %+v\n  want: %+v", ti, got, want)
+			}
+			for i := range got.Flags.Pix {
+				if got.Flags.Pix[i] != want.Flags.Pix[i] {
+					t.Fatalf("trial %d flag map differs at pixel %d", ti, i)
+				}
+			}
+			trialsChecked++
+		}
+	}
+	if trialsChecked == 0 {
+		t.Fatal("no trials to check — candidate generation produced nothing")
+	}
+}

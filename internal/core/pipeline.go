@@ -102,8 +102,16 @@ func (p *Pipeline) SelectWithConfig(img *imaging.Image, mpp float64, cfg ZoneCon
 // stays false). A selection that completes is byte-identical to a
 // SelectWithConfig run: cancellation never perturbs the Monte-Carlo
 // sequences of surviving calls, because the monitor reseeds per trial.
+//
+// The whole selection runs inside one monitor.FrameContext: the
+// deterministic frame stem is computed once and shared by the segmentation
+// pass and every candidate verdict, whose crop stems are sliced from it
+// (nn.StemCache). The frame-context parity tests pin both against the
+// per-crop formulation bit-for-bit, so this is purely a cost change.
 func (p *Pipeline) SelectWithConfigCtx(ctx context.Context, img *imaging.Image, mpp float64, cfg ZoneConfig) (Result, error) {
-	pred, err := p.Model.PredictCtx(ctx, img)
+	fc := p.Monitor.NewFrameContext(img)
+	defer fc.Close()
+	pred, err := fc.PredictCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -121,9 +129,8 @@ func (p *Pipeline) SelectWithConfigCtx(ctx context.Context, img *imaging.Image, 
 	res := Result{Pred: pred, CandidateCount: len(cands), UsedBufferM: zones.BufferM}
 	dm := NewDecisionModule(p.MaxTrials)
 	for _, cand := range cands {
-		sub := img.Crop(evenAlign(cand.X0, img.W, cand.SizePx), evenAlign(cand.Y0, img.H, cand.SizePx),
-			evenSize(cand.SizePx), evenSize(cand.SizePx))
-		verdict, err := p.Monitor.VerifyRegionCtx(ctx, sub, p.Rule)
+		x0, y0, size := cand.CropRect(img.W, img.H)
+		verdict, err := fc.VerifyZoneCtx(ctx, x0, y0, size, size, p.Rule)
 		if err != nil {
 			return res, err
 		}

@@ -81,6 +81,15 @@ func (c Candidate) CenterM(mpp float64) (x, y float64) {
 	return (float64(c.X0) + float64(c.SizePx)/2) * mpp, (float64(c.Y0) + float64(c.SizePx)/2) * mpp
 }
 
+// CropRect returns the rectangle the monitor actually verifies for this
+// candidate inside an imgW×imgH frame: the zone size rounded up to even
+// (the downsampling model requires even inputs) with the origin shifted
+// left/up when the rounding would cross the frame edge. The pipeline and
+// the experiments share this so "the verified crop" is one definition.
+func (c Candidate) CropRect(imgW, imgH int) (x0, y0, size int) {
+	return evenAlign(c.X0, imgW, c.SizePx), evenAlign(c.Y0, imgH, c.SizePx), evenSize(c.SizePx)
+}
+
 // Candidates generates ranked landing-zone proposals from a predicted
 // segmentation. This is the "zone selection" stage of Figure 2: it runs on
 // the deterministic model output; the monitor later verifies the winners.

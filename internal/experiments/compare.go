@@ -84,6 +84,7 @@ func RunE8(e *Env, w io.Writer) error {
 			return fmt.Errorf("E8 %s: %w", meth.name, err)
 		}
 		resps := e.Fleet(context.Background(), eng, specs, scenario.SceneRequest)
+		eng.Close()
 
 		var picked, roadHits, severe int
 		var expFatal float64

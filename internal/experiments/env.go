@@ -3,9 +3,11 @@
 // ground-risk tables, the SORA case-study numbers, the EL criteria
 // assessment, the Figure 1 failure-injection matrix, dataset statistics,
 // the Figure 4 segmentation/monitoring study, the baseline comparison, the
-// sub-image timing argument, and the monitor ablations.
+// sub-image timing argument, and the monitor ablations — plus the E12
+// full-frame monitoring study that revisits the Section V-B sub-image
+// restriction with a shared per-frame stem.
 //
-// The model-dependent experiments (E5, E7–E10) run as scenario fleets over
+// The model-dependent experiments (E5, E7–E12) run as scenario fleets over
 // a safeland.Engine: scene requests stream through Engine.Serve (or
 // missions share the Engine as their landing planner) across
 // Config.Workers worker replicas that alias one frozen copy of the trained
@@ -56,7 +58,7 @@ type Config struct {
 	// MissionRepeats sizes the E5 failure matrix.
 	MissionRepeats int
 	// Workers is the Engine worker-pool size the model-dependent experiment
-	// fleets (E5, E7–E10) fan out over; 0 picks safeland.DefaultWorkers().
+	// fleets (E5, E7–E12) fan out over; 0 picks safeland.DefaultWorkers().
 	// Per-scene seeding and the monitor's per-call reseeding keep fleet
 	// output byte-identical across worker counts.
 	Workers int
@@ -322,6 +324,7 @@ func All() []Experiment {
 		{ID: "E9", Title: "Section V-B — Bayesian inference timing: sub-image vs full frame", Run: RunE9},
 		{ID: "E10", Title: "Conclusion/future work — quantitative monitor study (τ, samples, σ, dropout)", Run: RunE10},
 		{ID: "E11", Title: "Grid coverage — mission fleets over the full scenario axes (2022 populated-area validation)", Run: RunE11},
+		{ID: "E12", Title: "Beyond Section V-B — full-frame Bayesian monitoring over a shared per-frame stem", Run: RunE12},
 	}
 }
 

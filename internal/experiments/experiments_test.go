@@ -30,9 +30,9 @@ func quickEnv(t *testing.T) *Env {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	if len(exps) != len(wantIDs) {
-		t.Fatalf("registry has %d experiments, want %d (E1–E11)", len(exps), len(wantIDs))
+		t.Fatalf("registry has %d experiments, want %d (E1–E12)", len(exps), len(wantIDs))
 	}
 	seen := map[string]bool{}
 	for i, exp := range exps {
@@ -141,6 +141,37 @@ func TestE5E7E8E9E10(t *testing.T) {
 			t.Errorf("%s produced no output", id)
 		}
 		t.Logf("%s output:\n%s", id, buf.String())
+	}
+}
+
+// TestE12FullFrame runs the full-frame monitoring comparison at quick
+// scale: the in-experiment parity spot check must pass, no tile may fall
+// back to the naive path on the standard model shape, and everything but
+// the wall-clock lines must be deterministic across runs.
+func TestE12FullFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	var first, second bytes.Buffer
+	if err := RunE12(env, &first); err != nil {
+		t.Fatal(err)
+	}
+	out := first.String()
+	for _, want := range []string{"crop-only", "full-frame", "Parity spot check", "acceptance budget", "disputed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E12 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("E12 tiles fell back to the naive per-crop path:\n%s", out)
+	}
+	if err := RunE12(env, &second); err != nil {
+		t.Fatal(err)
+	}
+	if maskTimings(first.String()) != maskTimings(second.String()) {
+		t.Errorf("E12 report not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
 	}
 }
 

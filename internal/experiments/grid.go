@@ -43,6 +43,7 @@ func RunE11(e *Env, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("E11: %w", err)
 	}
+	defer eng.Close()
 
 	fmt.Fprintf(w, "Scenario grid: %d layouts x %d densities x %d winds x %d failures x %d hours = %d scenarios (%dpx scenes).\n",
 		len(axes.Layouts), len(axes.Densities), len(axes.Winds), len(axes.Failures), len(axes.Hours),

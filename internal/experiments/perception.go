@@ -69,6 +69,7 @@ func RunE7(e *Env, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("E7: %w", err)
 	}
+	defer eng.Close()
 	_, testSpecs, oodSpecs := e.datasetSpecs()
 	fmt.Fprintln(w, "\nZone availability, full pipeline streamed through Engine.Serve:")
 	for _, split := range []struct {
@@ -193,10 +194,14 @@ func RunE9(e *Env, w io.Writer) error {
 		t0 = time.Now()
 		for si, resp := range e.Fleet(context.Background(), eng, fleetSpecs, fleetReq) {
 			if resp.Err != nil {
+				eng.Close()
 				return fmt.Errorf("E9 scene %d: %w", si, resp.Err)
 			}
 		}
 		wall[i] = time.Since(t0)
+		// Release this pool's parallelism share before the next pool is
+		// timed: a stale reservation would shrink its per-op fan-out.
+		eng.Close()
 		fmt.Fprintf(w, "  %d worker(s): %10v\n", workers, wall[i])
 	}
 	if len(wall) > 1 && wall[1] > 0 {

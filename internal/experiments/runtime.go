@@ -27,6 +27,7 @@ func RunE5(e *Env, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("E5: %w", err)
 	}
+	defer eng.Close()
 	ds := e.Dataset()
 	spec := uav.MediDelivery()
 

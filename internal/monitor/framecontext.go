@@ -1,0 +1,237 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+
+	"safeland/internal/imaging"
+	"safeland/internal/nn"
+	"safeland/internal/segment"
+)
+
+// FrameContext amortizes the deterministic work of one on-board frame
+// across everything the perception stack asks about it: the full-frame stem
+// (every layer before the first dropout) is computed once, the
+// deterministic segmentation and every Monte-Carlo zone verdict then run
+// suffix-only, with each crop's stem sliced out of the frame stem
+// (nn.StemCache) instead of recomputed. Verdicts are byte-identical to the
+// per-crop VerifyRegionCtx path — the parity tests pin this — because the
+// sliced stems are bit-equal and the suffix replay draws the same reseeded
+// RNG stream.
+//
+// This is what breaks the paper's Section V-B constraint: full-frame
+// Bayesian monitoring was "prohibitively slow" per-crop, but tiled over a
+// shared frame stem it costs roughly one suffix replay per tile
+// (VerifyFrameCtx, experiment E12).
+//
+// A FrameContext borrows its Bayesian replica's model and arena, so it is
+// single-goroutine like the replica itself. Close must be called to return
+// the frame tensors to the arena; the context is then dead.
+type FrameContext struct {
+	b   *Bayesian
+	img *imaging.Image
+
+	in     *nn.Tensor // frame input tensor; owned until Close
+	cache  *nn.StemCache
+	suffix nn.Layer
+	split  bool // stem cache available; false falls back to per-crop paths
+
+	// CachedCrops and FallbackCrops count how zone verdicts were served:
+	// from the sliced frame stem, or by the naive per-crop path (crops off
+	// the stride grid, unsupported model shapes).
+	CachedCrops   int
+	FallbackCrops int
+}
+
+// NewFrameContext opens a per-frame context on the monitor's model. The
+// frame is borrowed for the context's lifetime. When the model's shape does
+// not support stem caching (no dropout to split at, a non-sliceable
+// prefix), every method transparently falls back to the per-crop path —
+// results are identical either way, only the sharing is lost.
+func (b *Bayesian) NewFrameContext(frame *imaging.Image) *FrameContext {
+	fc := &FrameContext{b: b, img: frame}
+	if prefix, suffix, ok := nn.SplitAtFirstDropout(b.Model.Net); ok {
+		if cache, cok := nn.NewStemCache(prefix, b.Model.Scratch()); cok {
+			fc.cache, fc.suffix, fc.split = cache, suffix, true
+		}
+	}
+	return fc
+}
+
+// ensureStem lazily computes the full-frame stem. A cancelled computation
+// retains nothing (nn.StemCache.Prime's contract), so a later call on the
+// same context starts clean — a partially-computed stem is never observable
+// to subsequent verdicts.
+func (fc *FrameContext) ensureStem(ctx context.Context) error {
+	if fc.cache.Primed() {
+		return nil
+	}
+	if fc.in == nil {
+		fc.in = segment.ToTensorScratch(fc.img, fc.b.Model.Scratch())
+	}
+	return fc.cache.Prime(ctx, fc.in)
+}
+
+// PredictCtx returns the deterministic segmentation of the frame,
+// byte-identical to Model.PredictCtx: the frame stem plus one suffix pass
+// in deterministic mode is the same layer sequence as a full forward, and
+// inactive dropout consumes no randomness.
+func (fc *FrameContext) PredictCtx(ctx context.Context) (*imaging.LabelMap, error) {
+	if !fc.split {
+		return fc.b.Model.PredictCtx(ctx, fc.img)
+	}
+	if err := fc.ensureStem(ctx); err != nil {
+		return nil, err
+	}
+	sc := fc.b.Model.Scratch()
+	out, err := nn.ForwardCtx(ctx, fc.suffix, fc.cache.Stem(), false)
+	if err != nil {
+		return nil, err
+	}
+	lm := segment.LabelMapFromScores(out, fc.img.W, fc.img.H)
+	if out != fc.cache.Stem() {
+		sc.Put(out)
+	}
+	return lm, nil
+}
+
+// VerifyZoneCtx verifies the (x0, y0, w, h) crop of the frame,
+// byte-identical to VerifyRegionCtx over the same crop: when the crop sits
+// on the stem's stride grid its stem is sliced from the frame stem and only
+// the stochastic suffix is replayed; otherwise the naive per-crop path
+// runs. Cancellation mid-verdict leaves the frame stem untouched — the
+// next verdict on this context reuses it as if the cancellation never
+// happened.
+func (fc *FrameContext) VerifyZoneCtx(ctx context.Context, x0, y0, w, h int, rule Rule) (Verdict, error) {
+	if fc.split {
+		if err := fc.ensureStem(ctx); err != nil {
+			return Verdict{}, err
+		}
+		stem, ok, err := fc.cache.CropStem(ctx, x0, y0, w, h)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if ok {
+			fc.CachedCrops++
+			sc := fc.b.Model.Scratch()
+			st, err := fc.b.stemMoments(ctx, stem, fc.suffix, sc)
+			sc.Put(stem)
+			if err != nil {
+				return Verdict{}, err
+			}
+			return verdictFromMoments(st, w, h, rule, sc), nil
+		}
+	}
+	fc.FallbackCrops++
+	return fc.b.VerifyRegionCtx(ctx, fc.img.Crop(x0, y0, w, h), rule)
+}
+
+// TileVerdict is one tile of a whole-frame verification.
+type TileVerdict struct {
+	X0, Y0, W, H int
+	Verdict      Verdict
+}
+
+// FrameVerdict aggregates a tiled whole-frame verification. The embedded
+// Verdict covers the full frame: Flags is the union of the tile flag maps
+// in frame coordinates, FlaggedFraction counts distinct flagged frame
+// pixels (overlapping tile rows are not double-counted), MaxScore is the
+// maximum over tiles, and Confirmed applies the rule's flagged-fraction
+// tolerance to the frame-wide fraction.
+type FrameVerdict struct {
+	Verdict
+	Tiles []TileVerdict
+}
+
+// VerifyFrameCtx verifies the whole frame as a grid of tilePx×tilePx crops
+// (each byte-identical to a VerifyZoneCtx of the same rectangle; trailing
+// tiles shift left/up to stay inside the frame, so edge rows are covered by
+// overlapping tiles). tilePx is rounded up to even — the downsampling model
+// requires even inputs — and clamped to the frame.
+func (fc *FrameContext) VerifyFrameCtx(ctx context.Context, tilePx int, rule Rule) (FrameVerdict, error) {
+	fw, fh := fc.img.W, fc.img.H
+	if tilePx < 2 {
+		tilePx = 2
+	}
+	if tilePx%2 == 1 {
+		tilePx++
+	}
+	tw, th := tilePx, tilePx
+	if tw > fw {
+		tw = fw
+	}
+	if th > fh {
+		th = fh
+	}
+	fv := FrameVerdict{Verdict: Verdict{Flags: imaging.NewMap(fw, fh)}}
+	for _, y0 := range tileOrigins(fh, th) {
+		for _, x0 := range tileOrigins(fw, tw) {
+			v, err := fc.VerifyZoneCtx(ctx, x0, y0, tw, th, rule)
+			if err != nil {
+				return FrameVerdict{}, err
+			}
+			fv.Tiles = append(fv.Tiles, TileVerdict{X0: x0, Y0: y0, W: tw, H: th, Verdict: v})
+			if v.MaxScore > fv.MaxScore {
+				fv.MaxScore = v.MaxScore
+			}
+			mergeFlags(fv.Flags, v.Flags, x0, y0)
+		}
+	}
+	flagged := 0
+	for _, p := range fv.Flags.Pix {
+		if p != 0 {
+			flagged++
+		}
+	}
+	fv.FlaggedFraction = float64(flagged) / float64(fw*fh)
+	fv.Confirmed = fv.FlaggedFraction <= rule.MaxFlaggedFraction
+	return fv, nil
+}
+
+// Close returns the context's tensors to the replica's arena. The context
+// must not be used afterwards.
+func (fc *FrameContext) Close() {
+	if fc.cache != nil {
+		fc.cache.Release()
+	}
+	if fc.in != nil {
+		fc.b.Model.Scratch().Put(fc.in)
+		fc.in = nil
+	}
+}
+
+// tileOrigins returns the tile origins covering [0, n) with extent t: a
+// regular grid plus a final origin shifted to n-t when n is not a multiple
+// of t, so the last tile overlaps instead of falling short.
+func tileOrigins(n, t int) []int {
+	if t >= n {
+		return []int{0}
+	}
+	var origins []int
+	for o := 0; o+t <= n; o += t {
+		origins = append(origins, o)
+	}
+	if last := n - t; origins[len(origins)-1] != last {
+		origins = append(origins, last)
+	}
+	return origins
+}
+
+// mergeFlags ORs a tile flag map into the frame map at (x0, y0), panicking
+// on a tile that does not fit — tiles come from VerifyFrameCtx's own grid,
+// so a mismatch is a bug, not an input condition.
+func mergeFlags(frame, tile *imaging.Map, x0, y0 int) {
+	if x0+tile.W > frame.W || y0+tile.H > frame.H {
+		panic(fmt.Sprintf("monitor: %dx%d tile at (%d,%d) outside %dx%d frame",
+			tile.W, tile.H, x0, y0, frame.W, frame.H))
+	}
+	for y := 0; y < tile.H; y++ {
+		src := tile.Pix[y*tile.W : (y+1)*tile.W]
+		dst := frame.Pix[(y0+y)*frame.W+x0 : (y0+y)*frame.W+x0+tile.W]
+		for i, p := range src {
+			if p != 0 {
+				dst[i] = 1
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package monitor
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"safeland/internal/imaging"
+)
+
+// verdictsIdentical bit-compares every Verdict field, including the flag
+// map contents.
+func verdictsIdentical(a, b Verdict) bool {
+	if a.Confirmed != b.Confirmed || a.FlaggedFraction != b.FlaggedFraction || a.MaxScore != b.MaxScore {
+		return false
+	}
+	if (a.Flags == nil) != (b.Flags == nil) {
+		return false
+	}
+	if a.Flags == nil {
+		return true
+	}
+	if a.Flags.W != b.Flags.W || a.Flags.H != b.Flags.H {
+		return false
+	}
+	for i := range a.Flags.Pix {
+		if a.Flags.Pix[i] != b.Flags.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrameContextZoneVerdictMatchesVerifyRegion is the tentpole parity
+// pin: a cached-stem zone verdict must be byte-identical to the naive
+// per-crop VerifyRegionCtx over the same rectangle, across Monte-Carlo
+// sample counts and crop positions, with off-grid crops transparently
+// served by the fallback path.
+func TestFrameContextZoneVerdictMatchesVerifyRegion(t *testing.T) {
+	m := tinyModel()
+	img := noisyImage(48, 61)
+	rule := DefaultRule()
+	rule.MaxFlaggedFraction = 0.25
+	crops := []struct {
+		x0, y0, w, h int
+		cached       bool
+	}{
+		{0, 0, 16, 16, true},   // low corner
+		{16, 8, 16, 20, true},  // interior, aligned
+		{32, 32, 16, 16, true}, // high corner
+		{0, 0, 48, 48, true},   // whole frame
+		{7, 4, 16, 16, false},  // origin off the stride-2 grid: fallback
+	}
+	for _, samples := range []int{2, 5, 10} {
+		b := NewBayesian(m, 41)
+		b.Samples = samples
+		fc := b.NewFrameContext(img)
+		wantCached, wantFallback := 0, 0
+		for _, cr := range crops {
+			got, err := fc.VerifyZoneCtx(context.Background(), cr.x0, cr.y0, cr.w, cr.h, rule)
+			if err != nil {
+				t.Fatalf("samples=%d VerifyZoneCtx: %v", samples, err)
+			}
+			want, err := b.VerifyRegionCtx(context.Background(), img.Crop(cr.x0, cr.y0, cr.w, cr.h), rule)
+			if err != nil {
+				t.Fatalf("samples=%d VerifyRegionCtx: %v", samples, err)
+			}
+			if !verdictsIdentical(got, want) {
+				t.Fatalf("samples=%d crop (%d,%d) %dx%d: cached-stem verdict diverged from per-crop path\n  got:  %+v\n  want: %+v",
+					samples, cr.x0, cr.y0, cr.w, cr.h, got, want)
+			}
+			if cr.cached {
+				wantCached++
+			} else {
+				wantFallback++
+			}
+		}
+		if fc.CachedCrops != wantCached || fc.FallbackCrops != wantFallback {
+			t.Fatalf("samples=%d: served %d cached / %d fallback crops, want %d / %d",
+				samples, fc.CachedCrops, fc.FallbackCrops, wantCached, wantFallback)
+		}
+		fc.Close()
+	}
+}
+
+// TestFrameContextPredictMatchesModel pins the suffix-only deterministic
+// prediction against the model's own full forward pass.
+func TestFrameContextPredictMatchesModel(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 43)
+	b.Samples = 3
+	img := noisyImage(32, 63)
+	fc := b.NewFrameContext(img)
+	defer fc.Close()
+	got, err := fc.PredictCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictCtx(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != want.W || got.H != want.H {
+		t.Fatalf("prediction dims %dx%d, want %dx%d", got.W, got.H, want.W, want.H)
+	}
+	for i := range got.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("prediction pixel %d = %v, model path %v", i, got.Pix[i], want.Pix[i])
+		}
+	}
+	// The prediction and a verdict share one frame stem; a verdict after a
+	// prediction must still match the naive path.
+	rule := DefaultRule()
+	v, err := fc.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.VerifyRegionCtx(context.Background(), img.Crop(8, 8, 16, 16), rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdictsIdentical(v, ref) {
+		t.Fatal("verdict after prediction diverged from per-crop path")
+	}
+}
+
+// TestFrameContextFrameVerdictMatchesTiles pins the whole-frame path: every
+// tile verdict must equal an independent per-crop verification of the same
+// rectangle, and the aggregate must be the union of the tiles.
+func TestFrameContextFrameVerdictMatchesTiles(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 47)
+	b.Samples = 4
+	img := noisyImage(48, 67) // 48 with 32px tiles: trailing tiles overlap
+	rule := DefaultRule()
+	fc := b.NewFrameContext(img)
+	defer fc.Close()
+	fv, err := fc.VerifyFrameCtx(context.Background(), 32, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fv.Tiles) != 4 {
+		t.Fatalf("48px frame at 32px tiles: %d tiles, want 4", len(fv.Tiles))
+	}
+	union := imaging.NewMap(img.W, img.H)
+	var maxScore float32
+	for _, tile := range fv.Tiles {
+		want, err := b.VerifyRegionCtx(context.Background(), img.Crop(tile.X0, tile.Y0, tile.W, tile.H), rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdictsIdentical(tile.Verdict, want) {
+			t.Fatalf("tile (%d,%d): verdict diverged from per-crop path", tile.X0, tile.Y0)
+		}
+		if tile.Verdict.MaxScore > maxScore {
+			maxScore = tile.Verdict.MaxScore
+		}
+		for y := 0; y < tile.H; y++ {
+			for x := 0; x < tile.W; x++ {
+				if tile.Verdict.Flags.Pix[y*tile.W+x] != 0 {
+					union.Pix[(tile.Y0+y)*img.W+tile.X0+x] = 1
+				}
+			}
+		}
+	}
+	if fv.MaxScore != maxScore {
+		t.Fatalf("aggregate MaxScore %v, tile maximum %v", fv.MaxScore, maxScore)
+	}
+	flagged := 0
+	for i := range union.Pix {
+		if union.Pix[i] != fv.Flags.Pix[i] {
+			t.Fatalf("aggregate flag map differs from tile union at pixel %d", i)
+		}
+		if union.Pix[i] != 0 {
+			flagged++
+		}
+	}
+	if want := float64(flagged) / float64(img.W*img.H); fv.FlaggedFraction != want {
+		t.Fatalf("aggregate flagged fraction %v, union fraction %v", fv.FlaggedFraction, want)
+	}
+	if fv.Confirmed != (fv.FlaggedFraction <= rule.MaxFlaggedFraction) {
+		t.Fatal("aggregate Confirmed inconsistent with the rule tolerance")
+	}
+}
+
+// TestFrameContextCancelThenReuse is the cancellation-hygiene pin: a
+// context cancelled mid-verdict — including during the frame stem
+// computation itself — must not leave partial state observable, so the next
+// verdict on the same replica is byte-identical to an undisturbed run.
+func TestFrameContextCancelThenReuse(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 53)
+	b.Samples = 5
+	img := noisyImage(32, 71)
+	rule := DefaultRule()
+	ref, err := b.VerifyRegionCtx(context.Background(), img.Crop(8, 4, 16, 16), rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel before the stem exists: Prime must retain nothing.
+	fc := b.NewFrameContext(img)
+	defer fc.Close()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fc.VerifyZoneCtx(cancelled, 8, 4, 16, 16, rule); err == nil {
+		t.Fatal("cancelled verdict succeeded")
+	}
+	got, err := fc.VerifyZoneCtx(context.Background(), 8, 4, 16, 16, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdictsIdentical(got, ref) {
+		t.Fatal("verdict after cancelled stem computation diverged")
+	}
+
+	// Cancel after the stem exists: the suffix replay aborts, the stem
+	// stays valid, and the RNG reseeding makes the retry identical.
+	if _, err := fc.VerifyZoneCtx(cancelled, 8, 4, 16, 16, rule); err == nil {
+		t.Fatal("cancelled verdict succeeded")
+	}
+	got, err = fc.VerifyZoneCtx(context.Background(), 8, 4, 16, 16, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdictsIdentical(got, ref) {
+		t.Fatal("verdict after cancelled replay diverged")
+	}
+
+	// The plain per-crop path must recover identically too.
+	if _, err := b.VerifyRegionCtx(cancelled, img.Crop(8, 4, 16, 16), rule); err == nil {
+		t.Fatal("cancelled VerifyRegionCtx succeeded")
+	}
+	again, err := b.VerifyRegionCtx(context.Background(), img.Crop(8, 4, 16, 16), rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdictsIdentical(again, ref) {
+		t.Fatal("VerifyRegionCtx after cancellation diverged")
+	}
+}
+
+// TestFrameContextReplicaRaceHammer runs frame contexts on replicas sharing
+// one frozen model from many goroutines — the -race run guards the shared
+// weights, each replica's private arena, and the per-replica stem caches.
+func TestFrameContextReplicaRaceHammer(t *testing.T) {
+	src := tinyModel()
+	img := noisyImage(32, 73)
+	rule := DefaultRule()
+	refB := NewBayesian(src, 59)
+	refB.Samples = 4
+	refFc := refB.NewFrameContext(img)
+	refV, err := refFc.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+	refFc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const replicas, rounds = 4, 3
+	errs := make(chan error, replicas)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		clone, err := src.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := NewBayesian(clone, 59)
+			b.Samples = 4
+			for i := 0; i < rounds; i++ {
+				fc := b.NewFrameContext(img)
+				v, err := fc.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+				fc.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !verdictsIdentical(v, refV) {
+					t.Error("replica verdict diverged from the sequential reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -79,19 +79,11 @@ func (b *Bayesian) MCStatsCtx(ctx context.Context, img *imaging.Image) (Stats, e
 // each borrows probs for the duration of the call only: the buffer returns
 // to the model's arena for the next sample.
 func (b *Bayesian) mcRun(ctx context.Context, img *imaging.Image, each func(probs *nn.Tensor)) error {
-	if b.Samples < 2 {
-		panic(fmt.Sprintf("monitor: need at least 2 MC samples, have %d", b.Samples))
-	}
-	net := b.Model.Net
-	nn.SetDropoutMode(net, nn.AlwaysOn)
-	defer nn.SetDropoutMode(net, nn.Auto)
-	nn.ReseedDropout(net, b.Seed)
-
 	sc := b.Model.Scratch()
 	in := segment.ToTensorScratch(img, sc)
-	stem, suffix := in, nn.Layer(net)
+	stem, suffix := in, nn.Layer(b.Model.Net)
 	defer func() { sc.Put(stem) }()
-	if prefix, suf, ok := nn.SplitAtFirstDropout(net); ok {
+	if prefix, suf, ok := nn.SplitAtFirstDropout(b.Model.Net); ok {
 		out, err := nn.ForwardCtx(ctx, prefix, in, false)
 		if err != nil {
 			return err
@@ -101,6 +93,29 @@ func (b *Bayesian) mcRun(ctx context.Context, img *imaging.Image, each func(prob
 			sc.Put(in)
 		}
 	}
+	return b.mcReplay(ctx, stem, suffix, each)
+}
+
+// mcReplay replays the stochastic suffix over a precomputed stem: dropout
+// forced AlwaysOn and reseeded from b.Seed, then Samples suffix passes with
+// a softmax over each. The stem tensor is borrowed — suffix chains never
+// recycle their chain input — so callers may replay the same stem (or crops
+// sliced from a frame-level one) any number of times; each call draws an
+// identical RNG stream, which is what makes cached-stem verdicts
+// byte-identical to per-crop ones.
+//
+// each borrows probs for the duration of the call only: the buffer returns
+// to the model's arena for the next sample.
+func (b *Bayesian) mcReplay(ctx context.Context, stem *nn.Tensor, suffix nn.Layer, each func(probs *nn.Tensor)) error {
+	if b.Samples < 2 {
+		panic(fmt.Sprintf("monitor: need at least 2 MC samples, have %d", b.Samples))
+	}
+	net := b.Model.Net
+	nn.SetDropoutMode(net, nn.AlwaysOn)
+	defer nn.SetDropoutMode(net, nn.Auto)
+	nn.ReseedDropout(net, b.Seed)
+
+	sc := b.Model.Scratch()
 	for s := 0; s < b.Samples; s++ {
 		out, err := nn.ForwardCtx(ctx, suffix, stem, false)
 		if err != nil {
@@ -121,8 +136,25 @@ func (b *Bayesian) mcRun(ctx context.Context, img *imaging.Image, each func(prob
 // makes a steady-state VerifyRegionCtx allocation-free; pass nil when the
 // statistics escape.
 func (b *Bayesian) mcMoments(ctx context.Context, img *imaging.Image, sc *nn.Scratch) (Stats, error) {
+	return b.momentsOver(sc, func(each func(*nn.Tensor)) error {
+		return b.mcRun(ctx, img, each)
+	})
+}
+
+// stemMoments is mcMoments over a precomputed stem (a frame stem or a crop
+// sliced from one): the suffix replay replaces the full per-image run, the
+// Σp/Σp² accumulation is shared, so the two paths cannot drift.
+func (b *Bayesian) stemMoments(ctx context.Context, stem *nn.Tensor, suffix nn.Layer, sc *nn.Scratch) (Stats, error) {
+	return b.momentsOver(sc, func(each func(*nn.Tensor)) error {
+		return b.mcReplay(ctx, stem, suffix, each)
+	})
+}
+
+// momentsOver accumulates per-pixel Σp and Σp² over whatever sample stream
+// run produces and finalizes them into mean and standard deviation.
+func (b *Bayesian) momentsOver(sc *nn.Scratch, run func(each func(*nn.Tensor)) error) (Stats, error) {
 	var sum, sumSq *nn.Tensor
-	err := b.mcRun(ctx, img, func(probs *nn.Tensor) {
+	err := run(func(probs *nn.Tensor) {
 		if sum == nil {
 			sum = sc.Get(probs.Shape...)
 			sum.Zero()
@@ -250,6 +282,16 @@ func (b *Bayesian) VerifyRegionCtx(ctx context.Context, sub *imaging.Image, rule
 	if err != nil {
 		return Verdict{}, err
 	}
+	return verdictFromMoments(st, sub.W, sub.H, rule, sc), nil
+}
+
+// verdictFromMoments applies the rule to finalized moments in one fused
+// scan — the same µ + kσ expression decides the flag, feeds the max, and is
+// folded in the same class-major pixel order as the seed's two-scan
+// formulation. inW and inH are the verified region's input dimensions,
+// which set the flagged-fraction denominator; the moment buffers return to
+// the arena before the verdict escapes.
+func verdictFromMoments(st Stats, inW, inH int, rule Rule, sc *nn.Scratch) Verdict {
 	_, c, h, w := st.Mean.Dims4()
 	mean, std := st.Mean.Data, st.Std.Data
 	flags := imaging.NewMap(w, h)
@@ -275,11 +317,11 @@ func (b *Bayesian) VerifyRegionCtx(ctx context.Context, sub *imaging.Image, rule
 	}
 	sc.Put(st.Mean)
 	sc.Put(st.Std)
-	frac := float64(flagged) / float64(sub.W*sub.H)
+	frac := float64(flagged) / float64(inW*inH)
 	return Verdict{
 		Confirmed:       frac <= rule.MaxFlaggedFraction,
 		FlaggedFraction: frac,
 		MaxScore:        maxScore,
 		Flags:           flags,
-	}, nil
+	}
 }

@@ -6,23 +6,27 @@ import (
 	"sync/atomic"
 )
 
-// parallelCap caps per-op goroutine fan-out; 0 means GOMAXPROCS.
+// parallelCap caps per-op goroutine fan-out; 0 means no manual cap.
 var parallelCap atomic.Int32
 
+// reservedWorkers counts concurrently-serving pool workers registered via
+// ReserveWorkers across the whole process.
+var reservedWorkers atomic.Int64
+
 // SetParallelism caps how many goroutines a single nn operation (one
-// convolution, one batch norm, one softmax) fans out to. n <= 0 restores
-// the default, GOMAXPROCS. Values above GOMAXPROCS are no-ops: the cap only
-// ever shrinks the fan-out.
+// convolution, one batch norm, one softmax) fans out to. n <= 0 removes the
+// cap. Values above the machine share are no-ops: the cap only ever shrinks
+// the fan-out.
 //
-// The cap is process-wide. Its purpose is to stop nested oversubscription
-// when a serving pool already saturates the machine: N Engine workers ×
-// GOMAXPROCS goroutines per conv thrash the scheduler, so
-// safeland.NewEngine sets the cap to GOMAXPROCS/workers and each op takes a
-// 1/N share instead. The last constructed Engine wins; single-model callers
-// that want full per-op parallelism back call SetParallelism(0).
+// The cap is a process-wide manual override that composes with the
+// ReserveWorkers registry: the effective limit is the smaller of the two.
+// Serving pools should not use it — they register their worker counts with
+// ReserveWorkers instead, which is additive across pools rather than
+// last-writer-wins.
 //
-// The cap never changes results: parallelFor work items write disjoint
-// memory and each item's accumulation order is internal to the item.
+// Neither mechanism ever changes results: parallelFor work items write
+// disjoint memory and each item's accumulation order is internal to the
+// item.
 func SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -30,13 +34,44 @@ func SetParallelism(n int) {
 	parallelCap.Store(int32(n))
 }
 
-// Parallelism reports the effective per-op goroutine limit.
-func Parallelism() int {
-	max := runtime.GOMAXPROCS(0)
-	if c := int(parallelCap.Load()); c > 0 && c < max {
-		return c
+// ReserveWorkers registers n goroutines that will run nn operations
+// concurrently — a serving pool's worker count. While reservations are
+// outstanding, every nn operation fans out to GOMAXPROCS divided by the
+// total reserved workers (at least 1), so pools never multiply into
+// workers × GOMAXPROCS goroutines, and two pools in one process shrink
+// each other's shares instead of clobbering a global cap. The returned
+// release function is idempotent and must be called when the pool stops
+// serving; it restores the other pools' shares.
+func ReserveWorkers(n int) (release func()) {
+	if n < 1 {
+		n = 1
 	}
-	return max
+	reservedWorkers.Add(int64(n))
+	var once sync.Once
+	return func() {
+		once.Do(func() { reservedWorkers.Add(-int64(n)) })
+	}
+}
+
+// ReservedWorkers reports the total worker count currently registered via
+// ReserveWorkers.
+func ReservedWorkers() int { return int(reservedWorkers.Load()) }
+
+// Parallelism reports the effective per-op goroutine limit: the machine
+// share under the current ReserveWorkers registrations, further capped by
+// SetParallelism.
+func Parallelism() int {
+	eff := runtime.GOMAXPROCS(0)
+	if r := int(reservedWorkers.Load()); r > 0 {
+		eff /= r
+		if eff < 1 {
+			eff = 1
+		}
+	}
+	if c := int(parallelCap.Load()); c > 0 && c < eff {
+		eff = c
+	}
+	return eff
 }
 
 // parallelFor runs fn(i) for i in [0, n) across up to Parallelism() workers.

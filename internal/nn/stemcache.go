@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"context"
+	"fmt"
+)
+
+// StemCache serves crop-sized slices of a full-frame deterministic stem so
+// the Bayesian monitor can verify many candidate zones of one frame without
+// recomputing the prefix per crop. It exploits two pinned properties of the
+// stack: the convolution accumulates every output element in a fixed
+// icc→ky→kx tap order regardless of which bounds-hoisted kernel computed it,
+// and every prefix layer after the convolution is per-element (batch-norm
+// inference is a per-channel affine, ReLU a pointwise clamp). Together these
+// make the frame stem value at an output position bit-equal to the crop stem
+// value whenever the crop's receptive field for that position lies entirely
+// inside the crop.
+//
+// Positions whose receptive field crosses a crop edge see the crop's zero
+// padding instead of frame content, so slicing would change bits there.
+// CropStem recomputes that border ring by running thin input strips of the
+// crop through the prefix: a strip that shares the crop's edge reproduces
+// the crop's padding exactly, and the ring rows/columns taken from the strip
+// never read past the strip's real data, so they too are bit-equal to a
+// naive per-crop prefix pass. The stemcache fuzz target compares CropStem
+// against a direct prefix forward over the crop across random geometries.
+//
+// A StemCache borrows its model replica's prefix layers and arena, so it is
+// single-goroutine like the replica itself.
+type StemCache struct {
+	prefix *Sequential
+	conv   *Conv2D
+	sc     *Scratch
+
+	frame *Tensor // borrowed full-frame input; owned by the caller
+	stem  *Tensor // prefix(frame); owned by the cache until Release
+}
+
+// NewStemCache validates that prefix has the sliceable shape — a Sequential
+// whose first layer is a Conv2D and whose remaining layers are per-element
+// (BatchNorm2D, ReLU) — and returns a cache over it. ok is false when the
+// shape is unsupported; callers then fall back to per-crop prefix passes,
+// which trivially preserves bit-identity.
+func NewStemCache(prefix Layer, sc *Scratch) (*StemCache, bool) {
+	seq, isSeq := prefix.(*Sequential)
+	if !isSeq || len(seq.Layers) == 0 {
+		return nil, false
+	}
+	conv, isConv := seq.Layers[0].(*Conv2D)
+	if !isConv || conv.Stride < 1 || conv.Dilation < 1 || conv.K < 1 || conv.Pad < 0 {
+		return nil, false
+	}
+	for _, l := range seq.Layers[1:] {
+		switch l.(type) {
+		case *BatchNorm2D, *ReLU:
+		default:
+			return nil, false
+		}
+	}
+	return &StemCache{prefix: seq, conv: conv, sc: sc}, true
+}
+
+// Prime computes and retains the full-frame stem. The frame tensor is
+// borrowed for the cache's lifetime (ring strips read from it); the caller
+// keeps ownership and must not recycle it before Release. A cancelled Prime
+// retains nothing — the next Prime starts from scratch, so a partially
+// computed stem is never observable to later crops.
+func (c *StemCache) Prime(ctx context.Context, frame *Tensor) error {
+	c.Release()
+	out, err := ForwardCtx(ctx, c.prefix, frame, false)
+	if err != nil {
+		return err
+	}
+	c.frame, c.stem = frame, out
+	return nil
+}
+
+// Primed reports whether a frame stem is currently cached.
+func (c *StemCache) Primed() bool { return c.stem != nil }
+
+// Stem returns the cached full-frame stem (nil before Prime). The tensor is
+// borrowed: it stays valid until the next Prime or Release.
+func (c *StemCache) Stem() *Tensor { return c.stem }
+
+// Release returns the cached stem to the arena and drops the frame
+// reference. The cache can be primed again afterwards.
+func (c *StemCache) Release() {
+	if c.stem != nil {
+		c.sc.Put(c.stem)
+	}
+	c.frame, c.stem = nil, nil
+}
+
+// stemAxis is the per-dimension slicing geometry of one crop: which stem
+// outputs can be copied from the frame stem and which edge rings must be
+// recomputed from input strips.
+type stemAxis struct {
+	out    int // crop stem extent
+	ringLo int // outputs [0, ringLo) read the crop's low-edge padding
+	lastIn int // largest output whose taps are all inside the crop
+}
+
+// axisGeometry derives the slicing geometry along one spatial dimension.
+// n is the crop extent, origin the crop origin in frame coordinates. ok is
+// false when the crop cannot be sliced: an origin not aligned to the stride
+// grid (the crop's output lattice would not coincide with the frame's) or a
+// crop so small the edge rings overlap.
+func (c *StemCache) axisGeometry(origin, n int) (stemAxis, bool) {
+	s, p, ext := c.conv.Stride, c.conv.Pad, (c.conv.K-1)*c.conv.Dilation
+	if origin%s != 0 {
+		return stemAxis{}, false
+	}
+	span := n + 2*p - ext - 1 // ext+1 is the full kernel extent
+	if span < 0 {
+		return stemAxis{}, false
+	}
+	ax := stemAxis{out: span/s + 1}
+	ax.ringLo = (p + s - 1) / s
+	if n-1-ext+p < 0 {
+		return stemAxis{}, false // every output reads both paddings
+	}
+	ax.lastIn = (n - 1 - ext + p) / s
+	if ax.lastIn >= ax.out {
+		ax.lastIn = ax.out - 1
+	}
+	if ax.ringLo > ax.lastIn {
+		return stemAxis{}, false // rings overlap: nothing to slice
+	}
+	return ax, true
+}
+
+// lowStrip returns the input extent a low-edge ring strip needs: outputs
+// [0, ringLo) tap at most s·(ringLo-1) - p + ext.
+func (c *StemCache) lowStrip(ax stemAxis, n int) int {
+	if ax.ringLo == 0 {
+		return 0
+	}
+	s, p, ext := c.conv.Stride, c.conv.Pad, (c.conv.K-1)*c.conv.Dilation
+	tIn := s*(ax.ringLo-1) - p + ext + 1
+	if tIn < 1 {
+		tIn = 1
+	}
+	if tIn > n {
+		tIn = n
+	}
+	return tIn
+}
+
+// highStrip returns the strip origin for the high-edge ring: outputs
+// (lastIn, out) re-emerge at strip output index lastIn+1-b0/s when the strip
+// starts at s·(lastIn+1-ringLo), which keeps the strip on the stride grid and
+// the taken outputs' taps inside real strip data. The origin is clamped so at
+// least one input row survives (when lastIn is limited by the crop's high
+// edge the unclamped origin can reach the crop extent); any smaller
+// stride-aligned origin only moves taps from strip padding into real data
+// that matches the crop's, so bit-identity is unaffected.
+func (c *StemCache) highStrip(ax stemAxis, n int) int {
+	if ax.lastIn >= ax.out-1 {
+		return -1 // no high ring
+	}
+	m := ax.lastIn + 1 - ax.ringLo
+	if max := (n - 1) / c.conv.Stride; m > max {
+		m = max
+	}
+	if m < 0 {
+		m = 0
+	}
+	return c.conv.Stride * m
+}
+
+// CropStem returns the prefix output for the (x0, y0, w, h) crop of the
+// primed frame, bit-identical to running the prefix over the cropped input.
+// The returned tensor comes from the arena; the caller must Put it back.
+// ok is false — with no tensor — when the crop cannot be served from the
+// cache (unsupported geometry or unprimed cache); callers then compute the
+// crop stem naively.
+func (c *StemCache) CropStem(ctx context.Context, x0, y0, w, h int) (*Tensor, bool, error) {
+	if c.stem == nil {
+		return nil, false, nil
+	}
+	_, ic, fh, fw := c.frame.Dims4()
+	if x0 < 0 || y0 < 0 || w < 1 || h < 1 || x0+w > fw || y0+h > fh {
+		panic(fmt.Sprintf("nn: crop %dx%d at (%d,%d) outside %dx%d frame", w, h, x0, y0, fw, fh))
+	}
+	ay, okY := c.axisGeometry(y0, h)
+	ax, okX := c.axisGeometry(x0, w)
+	if !okY || !okX {
+		return nil, false, nil
+	}
+	_, oc, foh, fow := c.stem.Dims4()
+	s := c.conv.Stride
+	if y0/s+ay.out > foh || x0/s+ax.out > fow {
+		return nil, false, nil // crop lattice exceeds the frame stem (degenerate geometry)
+	}
+
+	dst := c.sc.Get(1, oc, ay.out, ax.out)
+	// Interior block: sliced straight out of the frame stem.
+	for ci := 0; ci < oc; ci++ {
+		srcBase := (ci*foh+y0/s)*fow + x0/s
+		dstBase := ci * ay.out * ax.out
+		for oy := ay.ringLo; oy <= ay.lastIn; oy++ {
+			srcRow := c.stem.Data[srcBase+oy*fow : srcBase+oy*fow+ax.out]
+			dstRow := dst.Data[dstBase+oy*ax.out : dstBase+(oy+1)*ax.out]
+			copy(dstRow[ax.ringLo:ax.lastIn+1], srcRow[ax.ringLo:ax.lastIn+1])
+		}
+	}
+	// Edge rings: recomputed from thin input strips that share the crop's
+	// edges, so strip padding equals crop padding bit-for-bit. Horizontal
+	// strips span the full crop width (covering the corners); vertical
+	// strips fill only the interior rows of their columns.
+	type strip struct {
+		sy, sx, sh, sw     int // strip rectangle in frame coordinates
+		oy0, oy1, ox0, ox1 int // taken crop-stem outputs [oy0,oy1)×[ox0,ox1)
+		roff, coff         int // taken outputs start at strip output (roff, coff)
+	}
+	var strips []strip
+	if tIn := c.lowStrip(ay, h); tIn > 0 {
+		strips = append(strips, strip{sy: y0, sx: x0, sh: tIn, sw: w,
+			oy0: 0, oy1: ay.ringLo, ox0: 0, ox1: ax.out})
+	}
+	if b0 := c.highStrip(ay, h); b0 >= 0 {
+		strips = append(strips, strip{sy: y0 + b0, sx: x0, sh: h - b0, sw: w,
+			oy0: ay.lastIn + 1, oy1: ay.out, ox0: 0, ox1: ax.out,
+			roff: -(b0 / c.conv.Stride)})
+	}
+	if tIn := c.lowStrip(ax, w); tIn > 0 {
+		strips = append(strips, strip{sy: y0, sx: x0, sh: h, sw: tIn,
+			oy0: ay.ringLo, oy1: ay.lastIn + 1, ox0: 0, ox1: ax.ringLo})
+	}
+	if b0 := c.highStrip(ax, w); b0 >= 0 {
+		strips = append(strips, strip{sy: y0, sx: x0 + b0, sh: h, sw: w - b0,
+			oy0: ay.ringLo, oy1: ay.lastIn + 1, ox0: ax.lastIn + 1, ox1: ax.out,
+			coff: -(b0 / c.conv.Stride)})
+	}
+	for _, st := range strips {
+		if st.oy0 >= st.oy1 || st.ox0 >= st.ox1 {
+			continue
+		}
+		in := c.sc.Get(1, ic, st.sh, st.sw)
+		for ci := 0; ci < ic; ci++ {
+			for ry := 0; ry < st.sh; ry++ {
+				src := c.frame.Data[(ci*fh+st.sy+ry)*fw+st.sx : (ci*fh+st.sy+ry)*fw+st.sx+st.sw]
+				copy(in.Data[(ci*st.sh+ry)*st.sw:(ci*st.sh+ry+1)*st.sw], src)
+			}
+		}
+		out, err := ForwardCtx(ctx, c.prefix, in, false)
+		c.sc.Put(in)
+		if err != nil {
+			c.sc.Put(dst)
+			return nil, false, err
+		}
+		_, _, soh, sow := out.Dims4()
+		if st.oy1+st.roff > soh || st.ox1+st.coff > sow {
+			// The strip came out shorter than the ring it must cover —
+			// degenerate geometry the axis checks let through; fall back.
+			c.sc.Put(out)
+			c.sc.Put(dst)
+			return nil, false, nil
+		}
+		for ci := 0; ci < oc; ci++ {
+			for oy := st.oy0; oy < st.oy1; oy++ {
+				srcRow := out.Data[(ci*soh+oy+st.roff)*sow : (ci*soh+oy+st.roff+1)*sow]
+				dstRow := dst.Data[(ci*ay.out+oy)*ax.out : (ci*ay.out+oy+1)*ax.out]
+				copy(dstRow[st.ox0:st.ox1], srcRow[st.ox0+st.coff:st.ox1+st.coff])
+			}
+		}
+		c.sc.Put(out)
+	}
+	return dst, true, nil
+}

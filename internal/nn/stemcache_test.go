@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// stemPrefix builds a Conv2D→BatchNorm2D→ReLU Sequential with randomized
+// weights and non-trivial batch-norm inference statistics, the shape the
+// segmentation stem has after SplitAtFirstDropout.
+func stemPrefix(inC, outC, k, s, p, d int, seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	conv := NewConv2D("stem", inC, outC, k, s, p, d, rng)
+	for i := range conv.B.Value.Data {
+		conv.B.Value.Data[i] = float32(rng.NormFloat64() * 0.1)
+	}
+	bn := NewBatchNorm2D("stem.bn", outC)
+	for i := 0; i < outC; i++ {
+		bn.RunningMean[i] = float32(rng.NormFloat64() * 0.3)
+		bn.RunningVar[i] = float32(0.5 + rng.Float64())
+		bn.Gamma.Value.Data[i] = float32(0.5 + rng.Float64())
+		bn.Beta.Value.Data[i] = float32(rng.NormFloat64() * 0.2)
+	}
+	return NewSequential(conv, bn, &ReLU{})
+}
+
+func randomFrame(c, h, w int, seed int64) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTensor(1, c, h, w)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// cropTensor extracts the (x0, y0, w, h) window of a [1,C,H,W] tensor.
+func cropTensor(frame *Tensor, x0, y0, w, h int) *Tensor {
+	_, c, fh, fw := frame.Dims4()
+	out := NewTensor(1, c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			src := frame.Data[(ci*fh+y0+y)*fw+x0 : (ci*fh+y0+y)*fw+x0+w]
+			copy(out.Data[(ci*h+y)*w:(ci*h+y+1)*w], src)
+		}
+	}
+	return out
+}
+
+// checkCropParity primes the cache on the frame and bit-compares CropStem
+// against a direct prefix forward over the extracted crop. wantCached pins
+// whether the sliced fast path must serve the crop.
+func checkCropParity(t *testing.T, prefix *Sequential, sc *Scratch, frame *Tensor, x0, y0, w, h int, wantCached bool) {
+	t.Helper()
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	if err := cache.Prime(context.Background(), frame); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	defer cache.Release()
+	got, ok, err := cache.CropStem(context.Background(), x0, y0, w, h)
+	if err != nil {
+		t.Fatalf("CropStem: %v", err)
+	}
+	if ok != wantCached {
+		t.Fatalf("CropStem at (%d,%d) %dx%d: cached=%v, want %v", x0, y0, w, h, ok, wantCached)
+	}
+	if !ok {
+		return
+	}
+	defer sc.Put(got)
+	want := prefix.Forward(cropTensor(frame, x0, y0, w, h), false)
+	defer sc.Put(want)
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("shape mismatch: got %v want %v", got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("crop (%d,%d) %dx%d differs at element %d: cached %v naive %v",
+				x0, y0, w, h, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestCropStemMatchesPrefixForward(t *testing.T) {
+	type geom struct {
+		name       string
+		k, s, p, d int
+	}
+	geoms := []geom{
+		{"downsample-stem", 3, 2, 1, 1}, // the segmentation stem with Downsample
+		{"unit-stride", 3, 1, 1, 1},     // the stem without Downsample
+		{"no-pad", 3, 1, 0, 1},
+		{"dilated", 3, 2, 1, 2},
+		{"pointwise", 1, 1, 0, 1},
+		{"wide-kernel", 5, 2, 2, 1},
+	}
+	const fh, fw = 36, 32
+	for gi, g := range geoms {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			prefix := stemPrefix(2, 3, g.k, g.s, g.p, g.d, int64(100+gi))
+			sc := NewScratch()
+			AttachScratch(prefix, sc)
+			frame := randomFrame(2, fh, fw, int64(200+gi))
+			type crop struct{ x0, y0, w, h int }
+			crops := []crop{
+				{0, 0, fw, fh},             // whole frame
+				{0, 0, 16, 16},             // low corner
+				{fw - 16, fh - 16, 16, 16}, // high corner
+				{g.s * 4, g.s * 3, 16, 18}, // interior, aligned
+				{0, g.s * 5, fw, 14},       // full-width band
+				{g.s * 2, 0, 12, fh},       // full-height band
+				{fw - 14, g.s * 2, 14, 16}, // right edge
+				{g.s * 3, fh - 12, 18, 12}, // bottom edge
+			}
+			for _, cr := range crops {
+				checkCropParity(t, prefix, sc, frame, cr.x0, cr.y0, cr.w, cr.h, true)
+			}
+		})
+	}
+}
+
+func TestCropStemFallsBackOnUnslicedGeometry(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 11)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	frame := randomFrame(2, 32, 32, 12)
+	// Origin off the stride-2 lattice: the crop's output grid does not
+	// coincide with the frame's, so slicing cannot be bit-faithful.
+	checkCropParity(t, prefix, sc, frame, 3, 0, 16, 16, false)
+	checkCropParity(t, prefix, sc, frame, 0, 5, 16, 16, false)
+	// Crop so small the edge rings overlap: nothing left to slice.
+	checkCropParity(t, prefix, sc, frame, 0, 0, 3, 3, false)
+}
+
+func TestCropStemRequiresPrime(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 21)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	if cache.Primed() {
+		t.Fatal("cache reports primed before any Prime")
+	}
+	if _, ok, _ := cache.CropStem(context.Background(), 0, 0, 8, 8); ok {
+		t.Fatal("CropStem served a crop from an unprimed cache")
+	}
+}
+
+func TestStemCachePrimeCancelRetainsNothing(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 31)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	frame := randomFrame(2, 32, 32, 32)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cache.Prime(cancelled, frame); err == nil {
+		t.Fatal("Prime with a cancelled context succeeded")
+	}
+	if cache.Primed() {
+		t.Fatal("cancelled Prime left a stem observable")
+	}
+	if _, ok, _ := cache.CropStem(context.Background(), 0, 0, 8, 8); ok {
+		t.Fatal("CropStem served a crop after a cancelled Prime")
+	}
+	// A later Prime on the same cache must serve bit-faithful crops: the
+	// cancelled attempt retained no partial state.
+	if err := cache.Prime(context.Background(), frame); err != nil {
+		t.Fatalf("Prime after cancellation: %v", err)
+	}
+	defer cache.Release()
+	got, ok, err := cache.CropStem(context.Background(), 4, 4, 16, 16)
+	if err != nil || !ok {
+		t.Fatalf("CropStem after recovery: ok=%v err=%v", ok, err)
+	}
+	defer sc.Put(got)
+	want := prefix.Forward(cropTensor(frame, 4, 4, 16, 16), false)
+	defer sc.Put(want)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-cancel crop differs at element %d", i)
+		}
+	}
+}
+
+func TestStemCachePrimeReplacesPreviousFrame(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 41)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	a := randomFrame(2, 32, 32, 42)
+	b := randomFrame(2, 32, 32, 43)
+	if err := cache.Prime(context.Background(), a); err != nil {
+		t.Fatalf("Prime(a): %v", err)
+	}
+	if err := cache.Prime(context.Background(), b); err != nil {
+		t.Fatalf("Prime(b): %v", err)
+	}
+	defer cache.Release()
+	got, ok, err := cache.CropStem(context.Background(), 8, 8, 16, 16)
+	if err != nil || !ok {
+		t.Fatalf("CropStem: ok=%v err=%v", ok, err)
+	}
+	defer sc.Put(got)
+	want := prefix.Forward(cropTensor(b, 8, 8, 16, 16), false)
+	defer sc.Put(want)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("crop served from the stale frame (element %d differs)", i)
+		}
+	}
+}
+
+func TestNewStemCacheRejectsUnsupportedPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	conv := NewConv2D("c", 2, 3, 3, 2, 1, 1, rng)
+	cases := []struct {
+		name   string
+		prefix Layer
+	}{
+		{"bare-conv", conv},
+		{"empty-sequential", NewSequential()},
+		{"bn-first", NewSequential(NewBatchNorm2D("bn", 2), conv)},
+		{"dropout-tail", NewSequential(conv, NewDropout(0.5, 1))},
+		{"nested-sequential", NewSequential(conv, NewSequential(&ReLU{}))},
+	}
+	for _, tc := range cases {
+		if _, ok := NewStemCache(tc.prefix, NewScratch()); ok {
+			t.Errorf("NewStemCache accepted unsupported prefix %q", tc.name)
+		}
+	}
+}
+
+// FuzzCropStemMatchesPrefix drives random conv geometries, frames and crop
+// windows through the stem cache and bit-compares every cache-served crop
+// against a direct prefix forward over the extracted crop.
+func FuzzCropStemMatchesPrefix(f *testing.F) {
+	f.Add(int64(1), 3, 2, 1, 1, 36, 32, 4, 6, 16, 18)
+	f.Add(int64(2), 3, 1, 1, 1, 24, 24, 0, 0, 24, 24)
+	f.Add(int64(3), 1, 1, 0, 1, 20, 28, 7, 3, 9, 11)
+	f.Add(int64(4), 5, 2, 2, 1, 40, 36, 10, 8, 20, 22)
+	f.Add(int64(5), 3, 3, 1, 2, 33, 30, 3, 6, 15, 12)
+	f.Fuzz(func(t *testing.T, seed int64, k, s, p, d, fh, fw, y0, x0, h, w int) {
+		abs := func(v int) int {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		k = 1 + abs(k)%4
+		s = 1 + abs(s)%3
+		p = abs(p) % 3
+		d = 1 + abs(d)%2
+		fh = 10 + abs(fh)%30
+		fw = 10 + abs(fw)%30
+		if ext := (k-1)*d + 1; fh < ext || fw < ext {
+			t.Skip("frame smaller than the kernel extent")
+		}
+		h = 1 + abs(h)%fh
+		w = 1 + abs(w)%fw
+		y0 = abs(y0) % (fh - h + 1)
+		x0 = abs(x0) % (fw - w + 1)
+
+		prefix := stemPrefix(2, 3, k, s, p, d, seed)
+		sc := NewScratch()
+		AttachScratch(prefix, sc)
+		frame := randomFrame(2, fh, fw, seed+1)
+		cache, ok := NewStemCache(prefix, sc)
+		if !ok {
+			t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+		}
+		if err := cache.Prime(context.Background(), frame); err != nil {
+			t.Fatalf("Prime: %v", err)
+		}
+		defer cache.Release()
+		got, ok, err := cache.CropStem(context.Background(), x0, y0, w, h)
+		if err != nil {
+			t.Fatalf("CropStem: %v", err)
+		}
+		if !ok {
+			return // unsliceable geometry: callers fall back to the naive path
+		}
+		defer sc.Put(got)
+		want := prefix.Forward(cropTensor(frame, x0, y0, w, h), false)
+		defer sc.Put(want)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("shape mismatch: got %v want %v", got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("k=%d s=%d p=%d d=%d frame %dx%d crop (%d,%d) %dx%d: element %d cached %v naive %v",
+					k, s, p, d, fw, fh, x0, y0, w, h, i, got.Data[i], want.Data[i])
+			}
+		}
+	})
+}

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -152,6 +154,50 @@ func TestDiskCorpusRoundtrip(t *testing.T) {
 	reader.Scene(tinySpec(6))
 	if st := reader.Stats(); st.Generated != 1 {
 		t.Fatalf("distinct spec should generate, stats = %+v", st)
+	}
+}
+
+// TestDiskCorpusCorruptEntryRegenerates pins the robustness contract of
+// the disk layer: a truncated or garbled cache file reads as a miss, the
+// scene is regenerated bit-identically, and the fresh store overwrites the
+// bad entry so the next corpus heals back to a disk hit.
+func TestDiskCorpusCorruptEntryRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	sp := tinySpec(7)
+	want := NewDiskCorpus(dir).Scene(sp)
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.scene"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one cached scene file, got %v (%v)", files, err)
+	}
+	for name, corrupt := range map[string]func() error{
+		"truncated": func() error {
+			data, err := os.ReadFile(files[0])
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(files[0], data[:len(data)/2], 0o644)
+		},
+		"garbled": func() error {
+			return os.WriteFile(files[0], []byte("not a gob stream"), 0o644)
+		},
+	} {
+		if err := corrupt(); err != nil {
+			t.Fatalf("%s: corrupting entry: %v", name, err)
+		}
+		c := NewDiskCorpus(dir)
+		got := c.Scene(sp)
+		if st := c.Stats(); st.Generated != 1 || st.DiskHits != 0 {
+			t.Fatalf("%s: stats = %+v, want the corrupt entry to read as a miss", name, st)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: regenerated scene differs from the original", name)
+		}
+		// The regeneration overwrote the bad file: a fresh corpus hits disk.
+		healed := NewDiskCorpus(dir)
+		if healed.Scene(sp); healed.Stats().DiskHits != 1 {
+			t.Fatalf("%s: corrupt entry was not overwritten by the regeneration", name)
+		}
 	}
 }
 

@@ -189,6 +189,10 @@ func (m *Model) LogitsCtx(ctx context.Context, img *imaging.Image) (*nn.Tensor, 
 	in := ToTensorScratch(img, m.scratch)
 	out, err := nn.ForwardCtx(ctx, m.Net, in, false)
 	if err != nil {
+		// The chain input is never recycled mid-chain, so it is safe to
+		// reclaim on cancellation — leaving it out would grow the arena by
+		// one input-sized buffer per cancelled pass.
+		m.scratch.Put(in)
 		return nil, err
 	}
 	if out != in {
@@ -215,6 +219,15 @@ func labelMap(scores *nn.Tensor, w, h int) *imaging.LabelMap {
 		out.Pix[i] = imaging.Class(c)
 	}
 	return out
+}
+
+// LabelMapFromScores converts raw class scores ([1,C,H,W]) into the label
+// map Predict would produce for a w×h input. It lets callers that obtain
+// scores without going through Logits — the monitor's frame context runs
+// the suffix over a cached stem — share the exact argmax-and-cast path, so
+// their predictions cannot drift from Predict's.
+func LabelMapFromScores(scores *nn.Tensor, w, h int) *imaging.LabelMap {
+	return labelMap(scores, w, h)
 }
 
 // Clone returns a frozen shared-weights replica: a fresh network of the
