@@ -5,6 +5,7 @@
 #   make bench-smoke # one iteration of each perception benchmark (keeps the harness honest)
 #   make grid        # E11 grid coverage standalone (quick scale)
 #   make e12         # E12 full-frame monitoring standalone (quick scale)
+#   make e13         # E13 descent-session fleet study standalone (quick scale)
 #   make fuzz-smoke  # a few seconds of each fuzz target
 
 GO ?= go
@@ -21,7 +22,7 @@ NN_BENCH = ^(BenchmarkConvForwardSmall|BenchmarkConvForwardE8Scene|BenchmarkConv
 # so machine-load drift cancels out of the ratio) must stay < 10.
 MONITOR_BENCH = ^(BenchmarkMCStats|BenchmarkCropVerdictCachedStem|BenchmarkFullFrameVerdict)$$
 
-.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid e12 fuzz-smoke
+.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid e12 e13 fuzz-smoke
 
 check: fmt vet build race bench-smoke
 
@@ -58,7 +59,9 @@ race-experiments:
 # One pass over every benchmark, split so nothing runs twice: the
 # paper-artifact benchmarks (BenchmarkE1..E10*) print human-readably, the
 # Engine batch scaling curve (BenchmarkEngineBatch{1,4,8}Workers) lands in
-# BENCH_engine.json, the strategy-fleet curve
+# BENCH_engine.json, the descent-session fleet curve
+# (BenchmarkSessionFleet{100,1000}, reuse vs full-recompute arms with
+# ns/frame metrics) in BENCH_serve.json, the strategy-fleet curve
 # (BenchmarkExperimentE8Workers{1,4,8}) in BENCH_experiments.json and the
 # E11 grid-fleet curve (BenchmarkExperimentE11Workers{1,4,8}) in
 # BENCH_grid.json as test2json events, so the perf trajectory is tracked
@@ -66,6 +69,7 @@ race-experiments:
 bench:
 	$(GO) test -bench='^BenchmarkE[0-9]' -benchtime=1x -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineBatch -benchtime=1x -run=^$$ -json . > BENCH_engine.json
+	$(GO) test -bench=BenchmarkSessionFleet -benchtime=1x -run=^$$ -timeout 60m -json . > BENCH_serve.json
 	$(GO) test -bench=BenchmarkExperimentE8 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_experiments.json
 	$(GO) test -bench=BenchmarkExperimentE11 -benchtime=1x -run=^$$ -json ./internal/experiments > BENCH_grid.json
 	$(GO) test -bench='$(NN_BENCH)' -benchmem -run=^$$ -json ./internal/nn ./internal/monitor > BENCH_nn.json
@@ -87,6 +91,11 @@ grid:
 e12:
 	$(GO) run ./cmd/elbench -quick -run E12
 
+# E13 descent-session fleet study standalone: per-frame recompute vs
+# session temporal reuse over synthetic descents, at quick scale.
+e13:
+	$(GO) run ./cmd/elbench -quick -run E13
+
 # A few seconds of coverage-guided input generation per fuzz target — the
 # cheap regression pass; leave the long campaigns to dedicated runs.
 fuzz-smoke:
@@ -95,3 +104,4 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAxesEnumerate -fuzztime=5s ./internal/scenario
 	$(GO) test -run=^$$ -fuzz=FuzzConvForwardMatchesReference -fuzztime=5s ./internal/nn
 	$(GO) test -run=^$$ -fuzz=FuzzCropStemMatchesPrefix -fuzztime=5s ./internal/nn
+	$(GO) test -run=^$$ -fuzz=FuzzStemReprimeMatchesPrime -fuzztime=5s ./internal/nn

@@ -93,6 +93,25 @@ type EngineStats struct {
 	// cancellation before reaching a worker (its caller-visible slot is
 	// ErrNoResponse / the context's error).
 	Failed int64
+	// Sessions is the number of descent sessions currently open (NewSession
+	// minus Session.Close), bounded by the admission limit (WithMaxSessions).
+	Sessions int64
+	// SessionRejects counts NewSession calls refused by admission control.
+	// This is the engine's backpressure signal: a session is rejected with
+	// ErrSessionLimit immediately — never queued, never blocked — so the
+	// fleet layer above can shed the vehicle to another shard (Router) or
+	// fall back to stateless Select calls while the rejection count tells
+	// operators the shard is saturated.
+	SessionRejects int64
+	// Frames counts session frames served successfully by Session.Advance.
+	Frames int64
+	// FramesReused counts the subset of Frames served by the temporal fast
+	// path: the previous confirmed zone re-verified over a re-primed stem
+	// instead of a full candidate search.
+	FramesReused int64
+	// Preempted counts routine session advances cancelled mid-trial so
+	// their worker replica could be handed to a safety-class advance.
+	Preempted int64
 	// Corpus reports the attached scene source (WithCorpusStats); zero
 	// when no source is attached.
 	Corpus CorpusStats
@@ -106,6 +125,7 @@ type engineConfig struct {
 	checkpoint  string
 	factory     SelectorFactory
 	workers     int
+	maxSessions int
 	corpusStats func() CorpusStats
 }
 
@@ -175,6 +195,15 @@ func WithWorkers(n int) Option {
 	return func(c *engineConfig) { c.workers = n }
 }
 
+// WithMaxSessions bounds how many descent sessions (NewSession) may be open
+// on this engine at once. Values below 1 keep the default,
+// DefaultMaxSessionsPerWorker × the worker count. Admission control rejects
+// the excess with ErrSessionLimit instead of blocking — see
+// EngineStats.SessionRejects for the backpressure contract.
+func WithMaxSessions(n int) Option {
+	return func(c *engineConfig) { c.maxSessions = n }
+}
+
 // WithCorpusStats attaches a scene-source counter snapshot to the engine:
 // Engine.Stats folds fn's result into its Corpus field, so one Stats call
 // describes both the pool and the cache feeding it. The scenario corpus
@@ -185,19 +214,24 @@ func WithCorpusStats(fn func() CorpusStats) Option {
 }
 
 // DefaultWorkers is the worker-pool size NewEngine uses when WithWorkers
-// is not given: one worker per CPU, capped at 4 because the perception
-// forward passes are internally parallel and oversubscribing them degrades
-// batch latency.
+// is not given: one worker per CPU. An earlier cap of 4 guarded against the
+// pool multiplying the perception stack's internal fan-out (workers ×
+// per-conv goroutines oversubscribed the machine); nn.ReserveWorkers now
+// divides per-op parallelism by the registered pool size instead, so the
+// pool scales with the machine without compounding parallelism.
 func DefaultWorkers() int {
 	n := runtime.NumCPU()
-	if n > 4 {
-		n = 4
-	}
 	if n < 1 {
 		n = 1
 	}
 	return n
 }
+
+// DefaultMaxSessionsPerWorker scales the default session admission limit
+// (WithMaxSessions) with the worker pool: session state (a cached stem per
+// vehicle) is only useful if the pool can revisit it before the fleet
+// churns, so the bound grows with serving capacity.
+const DefaultMaxSessionsPerWorker = 64
 
 // Engine is the concurrent request/response front end for landing-zone
 // selection: a pool of worker-private System replicas behind one pluggable
@@ -216,7 +250,12 @@ type Engine struct {
 	sys      *System
 	workers  int
 	selector string
-	replicas chan Selector
+	pool     *replicaPool
+	// samples is the WithMonitorSamples override, re-applied to the replica
+	// each NewSession builds (worker replicas get it at construction).
+	samples int
+	// maxSessions is the admission limit behind NewSession.
+	maxSessions int
 	// release returns this pool's nn.ReserveWorkers share; idempotent.
 	release func()
 
@@ -225,6 +264,20 @@ type Engine struct {
 	requests atomic.Int64
 	served   atomic.Int64
 	failed   atomic.Int64
+
+	sessions       atomic.Int64
+	sessionRejects atomic.Int64
+	frames         atomic.Int64
+	framesReused   atomic.Int64
+	preempted      atomic.Int64
+
+	// preemptible registers the cancel funcs of in-flight routine session
+	// advances, keyed by a monotonically increasing id so preemption picks
+	// the oldest. Plain Select/SelectBatch/Serve requests never register:
+	// only session traffic is preemptible.
+	preemptMu   sync.Mutex
+	preemptSeq  int64
+	preemptible map[int64]context.CancelCauseFunc
 }
 
 // NewEngine builds an engine. The model comes from, in order of
@@ -264,7 +317,19 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	// and returned by Close.
 	release := nn.ReserveWorkers(cfg.workers)
 
-	e := &Engine{sys: sys, workers: cfg.workers, replicas: make(chan Selector, cfg.workers), release: release, corpusStats: cfg.corpusStats}
+	if cfg.maxSessions < 1 {
+		cfg.maxSessions = DefaultMaxSessionsPerWorker * cfg.workers
+	}
+	e := &Engine{
+		sys:         sys,
+		workers:     cfg.workers,
+		samples:     cfg.samples,
+		maxSessions: cfg.maxSessions,
+		release:     release,
+		corpusStats: cfg.corpusStats,
+		preemptible: make(map[int64]context.CancelCauseFunc),
+	}
+	sels := make([]Selector, 0, cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
 		rep, err := sys.Replica()
 		if err != nil {
@@ -282,8 +347,9 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		if i == 0 {
 			e.selector = sel.Name()
 		}
-		e.replicas <- sel
+		sels = append(sels, sel)
 	}
+	e.pool = newReplicaPool(sels)
 	return e, nil
 }
 
@@ -317,9 +383,14 @@ func (e *Engine) SelectorName() string { return e.selector }
 // workload diff two snapshots.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Requests: e.requests.Load(),
-		Served:   e.served.Load(),
-		Failed:   e.failed.Load(),
+		Requests:       e.requests.Load(),
+		Served:         e.served.Load(),
+		Failed:         e.failed.Load(),
+		Sessions:       e.sessions.Load(),
+		SessionRejects: e.sessionRejects.Load(),
+		Frames:         e.frames.Load(),
+		FramesReused:   e.framesReused.Load(),
+		Preempted:      e.preempted.Load(),
 	}
 	if e.corpusStats != nil {
 		st.Corpus = e.corpusStats()
@@ -363,24 +434,22 @@ func (e *Engine) run(ctx context.Context, req SelectRequest, idx int) SelectResp
 		defer cancel()
 	}
 	enqueued := time.Now()
-	select {
-	case <-waitCtx.Done():
-		resp.Queued = time.Since(enqueued)
-		resp.Err = waitCtx.Err()
-		return resp
-	case sel := <-e.replicas:
-		resp.Queued = time.Since(enqueued)
-		defer func() { e.replicas <- sel }()
-		if err := waitCtx.Err(); err != nil {
-			resp.Err = err
-			return resp
-		}
-		e.served.Add(1)
-		start := time.Now()
-		resp.Result, resp.Err = sel.Select(ctx, req)
-		resp.Elapsed = time.Since(start)
+	sel, err := e.pool.acquire(waitCtx, false)
+	resp.Queued = time.Since(enqueued)
+	if err != nil {
+		resp.Err = err
 		return resp
 	}
+	defer e.pool.release(sel)
+	if err := waitCtx.Err(); err != nil {
+		resp.Err = err
+		return resp
+	}
+	e.served.Add(1)
+	start := time.Now()
+	resp.Result, resp.Err = sel.Select(ctx, req)
+	resp.Elapsed = time.Since(start)
+	return resp
 }
 
 // SelectBatch serves a batch of requests across the worker pool and
@@ -500,7 +569,16 @@ var ErrNoResponse = fmt.Errorf("safeland: no response delivered for this request
 // into the mission simulator's safety switch: the request is built from
 // the scene under the vehicle with the current position as the home bias.
 func (e *Engine) PlanLanding(scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
-	resp := e.Select(context.Background(), SelectRequest{Scene: scene, HomeX: xM, HomeY: yM})
+	return e.PlanLandingCtx(context.Background(), scene, xM, yM)
+}
+
+// PlanLandingCtx implements uav.LandingPlannerCtx: PlanLanding with the
+// mission's context threaded through the selection, so cancelling the
+// mission aborts a planning already in progress. An aborted or failed
+// selection reports ok=false — the safety switch's conservative "no
+// verified zone" branch.
+func (e *Engine) PlanLandingCtx(ctx context.Context, scene *urban.Scene, xM, yM float64) (float64, float64, bool) {
+	resp := e.Select(ctx, SelectRequest{Scene: scene, HomeX: xM, HomeY: yM})
 	if resp.Err != nil || !resp.Result.Confirmed {
 		return 0, 0, false
 	}

@@ -91,8 +91,11 @@ func TestEngineMonitorSamplesOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := <-eng.replicas
-	defer func() { eng.replicas <- sel }()
+	sel, ok := eng.pool.tryAcquire()
+	if !ok {
+		t.Fatal("no free replica in a fresh pool")
+	}
+	defer eng.pool.release(sel)
 	rep, ok := sel.(*pipelineSelector)
 	if !ok {
 		t.Fatalf("default selector is %T, want *pipelineSelector", sel)
@@ -456,7 +459,10 @@ func TestEngineReplicasShareWeights(t *testing.T) {
 	}
 	src := sys.Pipeline.Model.Net.Params()
 	for w := 0; w < eng.Workers(); w++ {
-		sel := <-eng.replicas
+		sel, free := eng.pool.tryAcquire()
+		if !free {
+			t.Fatalf("worker %d: no free replica in a fresh pool", w)
+		}
 		rep, ok := sel.(*pipelineSelector)
 		if !ok {
 			t.Fatalf("worker %d selector is %T", w, sel)
@@ -473,7 +479,7 @@ func TestEngineReplicasShareWeights(t *testing.T) {
 				t.Fatalf("worker %d param %d (%s) copied instead of shared", w, i, src[i].Name)
 			}
 		}
-		defer func() { eng.replicas <- sel }()
+		defer eng.pool.release(sel)
 	}
 }
 

@@ -111,6 +111,19 @@ func (p *Pipeline) SelectWithConfig(img *imaging.Image, mpp float64, cfg ZoneCon
 func (p *Pipeline) SelectWithConfigCtx(ctx context.Context, img *imaging.Image, mpp float64, cfg ZoneConfig) (Result, error) {
 	fc := p.Monitor.NewFrameContext(img)
 	defer fc.Close()
+	return p.SelectInFrame(ctx, fc, mpp, cfg)
+}
+
+// SelectInFrame runs the full selection inside an existing frame context —
+// the seam descent sessions use to keep one context alive across a frame
+// stream (monitor.FrameContext.Advance re-primes only changed tiles). The
+// image is the context's current frame; the caller keeps ownership of fc
+// and must Close it eventually. Because an advanced context is bit-identical
+// to a fresh one and the monitor reseeds per trial, a selection through a
+// carried-over context is byte-identical to SelectWithConfigCtx on the same
+// frame — the session parity tests pin this.
+func (p *Pipeline) SelectInFrame(ctx context.Context, fc *monitor.FrameContext, mpp float64, cfg ZoneConfig) (Result, error) {
+	img := fc.Image()
 	pred, err := fc.PredictCtx(ctx)
 	if err != nil {
 		return Result{}, err
@@ -172,10 +185,18 @@ func evenAlign(x0, w, size int) int {
 // vehicle, pick and verify a landing zone near the current position and
 // return its center in meters.
 func (p *Pipeline) PlanLanding(scene *urban.Scene, xM, yM float64) (txM, tyM float64, ok bool) {
+	return p.PlanLandingCtx(context.Background(), scene, xM, yM)
+}
+
+// PlanLandingCtx is PlanLanding honoring ctx mid-selection (implementing
+// uav.LandingPlannerCtx): a cancelled or preempted planning aborts within
+// one network layer's work and reports no zone, which the mission simulator
+// treats as EL unavailable.
+func (p *Pipeline) PlanLandingCtx(ctx context.Context, scene *urban.Scene, xM, yM float64) (txM, tyM float64, ok bool) {
 	zones := p.Zones
 	zones.HomeX, zones.HomeY = xM, yM
-	res := p.SelectWithConfig(scene.Image, scene.MPP, zones)
-	if !res.Confirmed {
+	res, err := p.SelectWithConfigCtx(ctx, scene.Image, scene.MPP, zones)
+	if err != nil || !res.Confirmed {
 		return 0, 0, false
 	}
 	txM, tyM = res.Zone.CenterM(scene.MPP)

@@ -325,6 +325,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "Conclusion/future work — quantitative monitor study (τ, samples, σ, dropout)", Run: RunE10},
 		{ID: "E11", Title: "Grid coverage — mission fleets over the full scenario axes (2022 populated-area validation)", Run: RunE11},
 		{ID: "E12", Title: "Beyond Section V-B — full-frame Bayesian monitoring over a shared per-frame stem", Run: RunE12},
+		{ID: "E13", Title: "Fleet service — descent sessions with temporal reuse vs per-frame recompute", Run: RunE13},
 	}
 }
 

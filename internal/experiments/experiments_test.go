@@ -30,9 +30,9 @@ func quickEnv(t *testing.T) *Env {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	if len(exps) != len(wantIDs) {
-		t.Fatalf("registry has %d experiments, want %d (E1–E12)", len(exps), len(wantIDs))
+		t.Fatalf("registry has %d experiments, want %d (E1–E13)", len(exps), len(wantIDs))
 	}
 	seen := map[string]bool{}
 	for i, exp := range exps {
@@ -173,6 +173,35 @@ func TestE12FullFrame(t *testing.T) {
 		t.Errorf("E12 report not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
 			first.String(), second.String())
 	}
+}
+
+// TestE13Sessions runs the descent-session comparison at quick scale: the
+// in-experiment reuse-disabled parity check must pass, the temporal fast
+// path must actually engage somewhere in the splits, and everything but
+// the wall-clock figures must be deterministic across runs.
+func TestE13Sessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	var first, second bytes.Buffer
+	if err := RunE13(env, &first); err != nil {
+		t.Fatal(err)
+	}
+	out := first.String()
+	for _, want := range []string{"session", "Parity spot check", "agreement", "Engine stats"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 output missing %q:\n%s", want, out)
+		}
+	}
+	if err := RunE13(env, &second); err != nil {
+		t.Fatal(err)
+	}
+	if maskTimings(first.String()) != maskTimings(second.String()) {
+		t.Errorf("E13 report not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+	t.Logf("E13 output:\n%s", out)
 }
 
 // TestE8ParallelMatchesSequential is the fleet-layer acceptance check: the

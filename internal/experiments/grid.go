@@ -57,7 +57,7 @@ func RunE11(e *Env, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	outs := gridMissions(e, scens, scenes, resps)
+	outs := gridMissions(context.Background(), e, scens, scenes, resps)
 	after := eng.Stats()
 
 	// gridSelect aborts on the first failed response, so reaching this
@@ -182,7 +182,7 @@ type gridOutcome struct {
 // deterministic per-scenario wind seed, and outcomes are collected by index
 // — the same discipline that keeps every fleet report byte-identical to a
 // sequential run.
-func gridMissions(e *Env, scens []scenario.Scenario, scenes []*urban.Scene, resps []safeland.SelectResponse) []gridOutcome {
+func gridMissions(ctx context.Context, e *Env, scens []scenario.Scenario, scenes []*urban.Scene, resps []safeland.SelectResponse) []gridOutcome {
 	spec := uav.MediDelivery()
 	outs := make([]gridOutcome, len(scens))
 	fleetRun(e.Workers(), len(scens), func(i int) {
@@ -195,7 +195,7 @@ func gridMissions(e *Env, scens []scenario.Scenario, scenes []*urban.Scene, resp
 		m := missionOn(scenes[i], spec, plan, sc.Hour)
 		m.Wind = sc.Wind.New(sc.WindSeed())
 		m.Failures = []uav.TimedFailure{sc.Failure.Injection()}
-		out := m.Run()
+		out := m.RunCtx(ctx)
 		outs[i] = gridOutcome{
 			Confirmed:  res.Confirmed,
 			Rejected:   !res.Confirmed && len(res.Trials) > 0,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,6 +31,10 @@ func RunE5(e *Env, w io.Writer) error {
 	defer eng.Close()
 	ds := e.Dataset()
 	spec := uav.MediDelivery()
+	// The engine planner is ctx-aware (uav.LandingPlannerCtx): the mission
+	// context reaches the selection, so aborting an experiment run aborts
+	// in-flight plannings mid-trial instead of waiting them out.
+	ctx := context.Background()
 
 	failures := []uav.FailureKind{
 		uav.CommLossTemporary, uav.CommLossPermanent, uav.MotorDegraded,
@@ -44,7 +49,7 @@ func RunE5(e *Env, w io.Writer) error {
 			m := missionOn(ds.Test[si], spec, eng, 18)
 			m.Wind = uav.NewWind(2, 0.5, 0.8, e.Cfg.Seed+int64(100*rep+si))
 			m.Failures = []uav.TimedFailure{{AtS: 5, Kind: fk, ClearAtS: clearTime(fk)}}
-			outs[i] = m.Run()
+			outs[i] = m.RunCtx(ctx)
 		})
 
 		var safe, impacts int

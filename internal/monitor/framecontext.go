@@ -3,6 +3,7 @@ package monitor
 import (
 	"context"
 	"fmt"
+	"image"
 
 	"safeland/internal/imaging"
 	"safeland/internal/nn"
@@ -56,6 +57,62 @@ func (b *Bayesian) NewFrameContext(frame *imaging.Image) *FrameContext {
 		}
 	}
 	return fc
+}
+
+// Image returns the frame the context currently describes — the one it was
+// opened on, or the latest frame a successful Advance moved it to.
+func (fc *FrameContext) Image() *imaging.Image { return fc.img }
+
+// Advance moves the context to the next frame of a descent stream without
+// recomputing the unchanged part of the frame stem: the caller promises
+// that frame differs from the current image only inside the changed
+// rectangles (pixel coordinates, exclusive Max), the input tensor is
+// rewritten there in place, and the stem cache re-primes just the affected
+// outputs (nn.StemCache.Reprime). After a successful Advance the context is
+// bit-identical to a fresh context opened on frame with its stem computed —
+// the session parity tests pin this — so every later PredictCtx and
+// VerifyZoneCtx verdict is byte-identical to a fresh-context run.
+//
+// An error leaves the context safe but cold: the frame reference moves to
+// the new frame and the stem and input tensor are dropped, so the next use
+// recomputes from scratch (the same contract a cancelled Prime has). A
+// frame of different dimensions or a context without a primed stem is also
+// served that way rather than rejected — Advance never fails the stream,
+// it only loses the reuse.
+func (fc *FrameContext) Advance(ctx context.Context, frame *imaging.Image, changed []image.Rectangle) error {
+	if !fc.split || fc.in == nil || !fc.cache.Primed() ||
+		frame.W != fc.img.W || frame.H != fc.img.H {
+		fc.reset(frame)
+		return nil
+	}
+	for _, r := range changed {
+		r = r.Intersect(image.Rect(0, 0, frame.W, frame.H))
+		if r.Empty() {
+			continue
+		}
+		segment.UpdateTensorRect(fc.in, frame, r.Min.X, r.Min.Y, r.Dx(), r.Dy())
+	}
+	fc.img = frame
+	if err := fc.cache.Reprime(ctx, changed); err != nil {
+		// Reprime released the stem; drop the half-updated input tensor too
+		// so the next ensureStem rebuilds both from the current image.
+		fc.reset(frame)
+		return err
+	}
+	return nil
+}
+
+// reset points the context at frame and drops the cached tensors, so the
+// next use recomputes them from frame.
+func (fc *FrameContext) reset(frame *imaging.Image) {
+	fc.img = frame
+	if fc.cache != nil {
+		fc.cache.Release()
+	}
+	if fc.in != nil {
+		fc.b.Model.Scratch().Put(fc.in)
+		fc.in = nil
+	}
 }
 
 // ensureStem lazily computes the full-frame stem. A cancelled computation

@@ -2,6 +2,8 @@ package monitor
 
 import (
 	"context"
+	"image"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -237,6 +239,185 @@ func TestFrameContextCancelThenReuse(t *testing.T) {
 	}
 	if !verdictsIdentical(again, ref) {
 		t.Fatal("VerifyRegionCtx after cancellation diverged")
+	}
+}
+
+// paintRect overwrites the rect of img (clipped) with fresh random pixels
+// and returns the clipped rect.
+func paintRect(img *imaging.Image, r image.Rectangle, seed int64) image.Rectangle {
+	rng := rand.New(rand.NewSource(seed))
+	r = r.Intersect(image.Rect(0, 0, img.W, img.H))
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			img.Pix[y*img.W+x] = imaging.RGB{R: rng.Float32(), G: rng.Float32(), B: rng.Float32()}
+		}
+	}
+	return r
+}
+
+// TestFrameContextAdvanceMatchesFreshContext is the temporal-reuse parity
+// pin: after Advance moves a warm context to a mutated frame, every verdict
+// and the deterministic prediction must be byte-identical to a fresh
+// context opened on that frame — for crops over changed pixels, unchanged
+// pixels, and straddling both.
+func TestFrameContextAdvanceMatchesFreshContext(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 61)
+	b.Samples = 4
+	rule := DefaultRule()
+	rule.MaxFlaggedFraction = 0.25
+
+	prev := noisyImage(48, 81)
+	fc := b.NewFrameContext(prev)
+	defer fc.Close()
+	if fc.Image() != prev {
+		t.Fatal("Image() does not return the opening frame")
+	}
+	// Warm the stem with a verdict before advancing.
+	if _, err := fc.VerifyZoneCtx(context.Background(), 0, 0, 16, 16, rule); err != nil {
+		t.Fatal(err)
+	}
+
+	next := prev.Clone()
+	changed := []image.Rectangle{
+		paintRect(next, image.Rect(20, 24, 36, 40), 82),
+		paintRect(next, image.Rect(0, 0, 6, 6), 83),
+	}
+	if err := fc.Advance(context.Background(), next, changed); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if fc.Image() != next {
+		t.Fatal("Image() does not return the advanced frame")
+	}
+
+	ref := NewBayesian(m, 61)
+	ref.Samples = 4
+	fresh := ref.NewFrameContext(next)
+	defer fresh.Close()
+
+	crops := []struct{ x0, y0, w, h int }{
+		{20, 24, 16, 16}, // exactly the changed patch
+		{0, 0, 16, 16},   // covers the small changed corner
+		{32, 0, 16, 16},  // untouched pixels only
+		{12, 16, 24, 24}, // straddles changed and unchanged
+		{0, 0, 48, 48},   // whole frame
+	}
+	for _, cr := range crops {
+		got, err := fc.VerifyZoneCtx(context.Background(), cr.x0, cr.y0, cr.w, cr.h, rule)
+		if err != nil {
+			t.Fatalf("advanced VerifyZoneCtx: %v", err)
+		}
+		want, err := fresh.VerifyZoneCtx(context.Background(), cr.x0, cr.y0, cr.w, cr.h, rule)
+		if err != nil {
+			t.Fatalf("fresh VerifyZoneCtx: %v", err)
+		}
+		if !verdictsIdentical(got, want) {
+			t.Fatalf("crop (%d,%d) %dx%d: advanced-context verdict diverged from fresh context",
+				cr.x0, cr.y0, cr.w, cr.h)
+		}
+	}
+	got, err := fc.PredictCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictCtx(context.Background(), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("advanced-context prediction differs from the model at pixel %d", i)
+		}
+	}
+}
+
+// TestFrameContextAdvanceColdAndMismatched pins the degraded paths: a cold
+// context (no stem yet) and a frame of different dimensions are served by a
+// reset instead of an error, and later verdicts match a fresh context.
+func TestFrameContextAdvanceColdAndMismatched(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 67)
+	b.Samples = 3
+	rule := DefaultRule()
+
+	// Cold: Advance before anything computed a stem.
+	a := noisyImage(32, 91)
+	fc := b.NewFrameContext(a)
+	defer fc.Close()
+	next := a.Clone()
+	paintRect(next, image.Rect(4, 4, 12, 12), 92)
+	if err := fc.Advance(context.Background(), next, []image.Rectangle{image.Rect(4, 4, 12, 12)}); err != nil {
+		t.Fatalf("cold Advance: %v", err)
+	}
+	assertMatchesFresh := func(img *imaging.Image) {
+		t.Helper()
+		got, err := fc.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refB := NewBayesian(m, 67)
+		refB.Samples = 3
+		fresh := refB.NewFrameContext(img)
+		defer fresh.Close()
+		want, err := fresh.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdictsIdentical(got, want) {
+			t.Fatal("verdict after degraded Advance diverged from fresh context")
+		}
+	}
+	assertMatchesFresh(next)
+
+	// Mismatched dimensions: the context resets onto the new frame.
+	smaller := noisyImage(24, 93)
+	if err := fc.Advance(context.Background(), smaller, nil); err != nil {
+		t.Fatalf("mismatched Advance: %v", err)
+	}
+	if fc.Image() != smaller {
+		t.Fatal("mismatched Advance did not move the frame reference")
+	}
+	assertMatchesFresh(smaller)
+}
+
+// TestFrameContextAdvanceCancelGoesCold pins the error path: a cancelled
+// Advance leaves the context cold but usable, and the next verdict is
+// byte-identical to a fresh context on the new frame.
+func TestFrameContextAdvanceCancelGoesCold(t *testing.T) {
+	m := tinyModel()
+	b := NewBayesian(m, 71)
+	b.Samples = 3
+	rule := DefaultRule()
+	prev := noisyImage(32, 94)
+	fc := b.NewFrameContext(prev)
+	defer fc.Close()
+	if _, err := fc.VerifyZoneCtx(context.Background(), 0, 0, 16, 16, rule); err != nil {
+		t.Fatal(err)
+	}
+	next := prev.Clone()
+	r := paintRect(next, image.Rect(8, 8, 20, 20), 95)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := fc.Advance(cancelled, next, []image.Rectangle{r}); err == nil {
+		t.Fatal("cancelled Advance succeeded")
+	}
+	if fc.Image() != next {
+		t.Fatal("failed Advance must still move to the new frame")
+	}
+	got, err := fc.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB := NewBayesian(m, 71)
+	refB.Samples = 3
+	fresh := refB.NewFrameContext(next)
+	defer fresh.Close()
+	want, err := fresh.VerifyZoneCtx(context.Background(), 8, 8, 16, 16, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdictsIdentical(got, want) {
+		t.Fatal("verdict after cancelled Advance diverged from fresh context")
 	}
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"context"
 	"fmt"
+	"image"
 )
 
 // StemCache serves crop-sized slices of a full-frame deterministic stem so
@@ -89,6 +90,128 @@ func (c *StemCache) Release() {
 		c.sc.Put(c.stem)
 	}
 	c.frame, c.stem = nil, nil
+}
+
+// Reprime updates the primed frame stem in place after the borrowed frame
+// tensor was mutated, recomputing only the stem outputs whose receptive
+// fields overlap a changed rectangle. The caller's contract: the tensor
+// passed to Prime was modified in place, and every modified element lies
+// inside one of the changed rectangles (frame pixel coordinates, exclusive
+// Max). Rectangles may overlap or reach outside the frame; they are clipped,
+// and overlapping recomputation is idempotent.
+//
+// After a successful Reprime the cached stem is bit-identical to a fresh
+// Prime of the mutated frame — the reprime unit and fuzz tests pin this —
+// by the same argument CropStem's ring strips rest on: every recomputed
+// output either reads real frame data entirely inside the recompute window,
+// or reads a genuine frame edge that the window shares, where the window's
+// zero padding equals the frame's bit-for-bit.
+//
+// A failed or cancelled Reprime releases the stem entirely (Primed reads
+// false afterwards), so a partially updated stem is never observable; the
+// next Prime starts from scratch.
+func (c *StemCache) Reprime(ctx context.Context, changed []image.Rectangle) error {
+	if c.stem == nil {
+		return fmt.Errorf("nn: Reprime on an unprimed stem cache")
+	}
+	_, ic, fh, fw := c.frame.Dims4()
+	_, oc, foh, fow := c.stem.Dims4()
+	for _, r := range changed {
+		r = r.Intersect(image.Rect(0, 0, fw, fh))
+		if r.Empty() {
+			continue
+		}
+		ay, okY := c.reprimeAxis(r.Min.Y, r.Max.Y, fh, foh)
+		ax, okX := c.reprimeAxis(r.Min.X, r.Max.X, fw, fow)
+		if !okY || !okX {
+			continue // no output taps the changed pixels (stride gaps)
+		}
+		in := c.sc.Get(1, ic, ay.cn, ax.cn)
+		for ci := 0; ci < ic; ci++ {
+			for ry := 0; ry < ay.cn; ry++ {
+				src := c.frame.Data[(ci*fh+ay.c0+ry)*fw+ax.c0 : (ci*fh+ay.c0+ry)*fw+ax.c0+ax.cn]
+				copy(in.Data[(ci*ay.cn+ry)*ax.cn:(ci*ay.cn+ry+1)*ax.cn], src)
+			}
+		}
+		out, err := ForwardCtx(ctx, c.prefix, in, false)
+		c.sc.Put(in)
+		if err != nil {
+			c.Release()
+			return err
+		}
+		_, _, soh, sow := out.Dims4()
+		if ay.oHi-ay.m >= soh || ax.oHi-ax.m >= sow {
+			// The window came out shorter than the outputs it must cover —
+			// a geometry bug, not an input condition.
+			c.sc.Put(out)
+			c.Release()
+			return fmt.Errorf("nn: reprime window for %v covers outputs [%d,%d]x[%d,%d] short of [%d,%d]x[%d,%d]",
+				r, ay.m, ay.m+soh-1, ax.m, ax.m+sow-1, ay.oLo, ay.oHi, ax.oLo, ax.oHi)
+		}
+		for ci := 0; ci < oc; ci++ {
+			for oy := ay.oLo; oy <= ay.oHi; oy++ {
+				srcRow := out.Data[(ci*soh+oy-ay.m)*sow : (ci*soh+oy-ay.m+1)*sow]
+				dstRow := c.stem.Data[(ci*foh+oy)*fow : (ci*foh+oy+1)*fow]
+				copy(dstRow[ax.oLo:ax.oHi+1], srcRow[ax.oLo-ax.m:ax.oHi-ax.m+1])
+			}
+		}
+		c.sc.Put(out)
+	}
+	return nil
+}
+
+// reprimeAxis is the per-dimension geometry of one changed rectangle: the
+// affected stem outputs and the frame window wide enough to recompute them.
+type reprimeAxis struct {
+	oLo, oHi int // affected stem outputs, inclusive
+	m        int // window origin on the output lattice (frame output index)
+	c0, cn   int // window [c0, c0+cn) in frame input coordinates; c0 = m·s
+}
+
+// reprimeAxis derives, along one spatial dimension, which stem outputs tap
+// changed inputs [lo, hi) and the stride-aligned frame window that
+// recomputes them bit-faithfully: the window either contains every tap of
+// every affected output as real frame data, or shares the frame edge whose
+// zero padding those taps read. n is the frame extent, out the frame-stem
+// extent. ok is false when no output taps the changed inputs, possible when
+// the stride exceeds the kernel extent.
+func (c *StemCache) reprimeAxis(lo, hi, n, out int) (reprimeAxis, bool) {
+	s, p, ext := c.conv.Stride, c.conv.Pad, (c.conv.K-1)*c.conv.Dilation
+	// Output o taps inputs [o·s-p, o·s-p+ext]; invert for the range
+	// overlapping [lo, hi).
+	oLo := 0
+	if v := lo + p - ext; v > 0 {
+		oLo = (v + s - 1) / s
+	}
+	oHi := (hi - 1 + p) / s
+	if oHi > out-1 {
+		oHi = out - 1
+	}
+	if oLo > oHi {
+		return reprimeAxis{}, false
+	}
+	// Start ringLo outputs early so the lowest affected output's taps are
+	// real window data (the same margin CropStem's interior block keeps);
+	// when that runs off the frame start, the window shares the low edge.
+	ringLo := (p + s - 1) / s
+	m := oLo - ringLo
+	if m < 0 {
+		m = 0
+	}
+	if maxM := (n - 1) / s; m > maxM {
+		m = maxM
+	}
+	ax := reprimeAxis{oLo: oLo, oHi: oHi, m: m, c0: m * s}
+	// Wide enough for the highest affected output's last tap; clamping to
+	// the frame means the window shares the high edge.
+	ax.cn = (oHi-m)*s - p + ext + 1
+	if ax.cn < 1 {
+		ax.cn = 1
+	}
+	if ax.c0+ax.cn > n {
+		ax.cn = n - ax.c0
+	}
+	return ax, true
 }
 
 // stemAxis is the per-dimension slicing geometry of one crop: which stem

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"context"
+	"image"
 	"math/rand"
 	"testing"
 )
@@ -241,6 +242,201 @@ func TestNewStemCacheRejectsUnsupportedPrefixes(t *testing.T) {
 			t.Errorf("NewStemCache accepted unsupported prefix %q", tc.name)
 		}
 	}
+}
+
+// mutateRect overwrites the (x0, y0, w, h) window of a [1,C,H,W] frame with
+// fresh random values across all channels.
+func mutateRect(frame *Tensor, x0, y0, w, h int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	_, c, fh, fw := frame.Dims4()
+	for ci := 0; ci < c; ci++ {
+		for y := y0; y < y0+h; y++ {
+			for x := x0; x < x0+w; x++ {
+				frame.Data[(ci*fh+y)*fw+x] = float32(rng.NormFloat64())
+			}
+		}
+	}
+}
+
+// checkReprimeParity primes on the frame, mutates it in place at the given
+// rects, Reprimes, and bit-compares the cached stem against a direct prefix
+// forward over the mutated frame (what a fresh Prime would compute).
+func checkReprimeParity(t *testing.T, prefix *Sequential, sc *Scratch, frame *Tensor, rects []image.Rectangle, seed int64) {
+	t.Helper()
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	if err := cache.Prime(context.Background(), frame); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	defer cache.Release()
+	_, _, fh, fw := frame.Dims4()
+	for i, r := range rects {
+		rc := r.Intersect(image.Rect(0, 0, fw, fh))
+		mutateRect(frame, rc.Min.X, rc.Min.Y, rc.Dx(), rc.Dy(), seed+int64(i))
+	}
+	if err := cache.Reprime(context.Background(), rects); err != nil {
+		t.Fatalf("Reprime(%v): %v", rects, err)
+	}
+	want := prefix.Forward(frame, false)
+	defer sc.Put(want)
+	got := cache.Stem()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("shape mismatch: got %v want %v", got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("reprimed stem for %v differs at element %d: reprimed %v fresh %v",
+				rects, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestStemReprimeMatchesFreshPrime(t *testing.T) {
+	type geom struct {
+		name       string
+		k, s, p, d int
+	}
+	geoms := []geom{
+		{"downsample-stem", 3, 2, 1, 1},
+		{"unit-stride", 3, 1, 1, 1},
+		{"no-pad", 3, 1, 0, 1},
+		{"dilated", 3, 2, 1, 2},
+		{"pointwise", 1, 1, 0, 1},
+		{"padded-pointwise", 1, 1, 1, 1}, // pad exceeds the kernel extent
+		{"wide-kernel", 5, 2, 2, 1},
+		{"sparse-stride", 3, 3, 1, 1}, // stride gaps: some pixels untapped
+	}
+	const fh, fw = 36, 32
+	for gi, g := range geoms {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			prefix := stemPrefix(2, 3, g.k, g.s, g.p, g.d, int64(300+gi))
+			sc := NewScratch()
+			AttachScratch(prefix, sc)
+			cases := [][]image.Rectangle{
+				{image.Rect(8, 8, 16, 16)},                                     // interior patch
+				{image.Rect(0, 0, 5, 5)},                                       // low corner
+				{image.Rect(fw-5, fh-5, fw, fh)},                               // high corner
+				{image.Rect(0, 12, fw, 14)},                                    // full-width band
+				{image.Rect(13, 0, 14, fh)},                                    // full-height sliver
+				{image.Rect(7, 7, 8, 8)},                                       // single pixel
+				{image.Rect(0, 0, fw, fh)},                                     // whole frame
+				{image.Rect(2, 2, 9, 9), image.Rect(20, 18, 30, 30)},           // disjoint pair
+				{image.Rect(4, 4, 14, 14), image.Rect(10, 10, 20, 20)},         // overlapping pair
+				{image.Rect(-4, -4, 6, 6), image.Rect(fw-2, fh-2, fw+8, fh+8)}, // clipped
+			}
+			for ci, rects := range cases {
+				frame := randomFrame(2, fh, fw, int64(400+10*gi+ci))
+				checkReprimeParity(t, prefix, sc, frame, rects, int64(500+100*gi+ci))
+			}
+		})
+	}
+}
+
+func TestStemReprimeRequiresPrime(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 61)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	if err := cache.Reprime(context.Background(), []image.Rectangle{image.Rect(0, 0, 4, 4)}); err == nil {
+		t.Fatal("Reprime on an unprimed cache succeeded")
+	}
+}
+
+func TestStemReprimeNoChangesIsNoOp(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 62)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	frame := randomFrame(2, 32, 32, 63)
+	// Empty list and fully-out-of-frame rects must leave the stem as primed.
+	checkReprimeParity(t, prefix, sc, frame, nil, 64)
+	checkReprimeParity(t, prefix, sc, frame,
+		[]image.Rectangle{image.Rect(40, 40, 50, 50), image.Rect(3, 3, 3, 9)}, 65)
+}
+
+func TestStemReprimeCancelReleasesStem(t *testing.T) {
+	prefix := stemPrefix(2, 3, 3, 2, 1, 1, 71)
+	sc := NewScratch()
+	AttachScratch(prefix, sc)
+	cache, ok := NewStemCache(prefix, sc)
+	if !ok {
+		t.Fatal("NewStemCache rejected a conv/bn/relu prefix")
+	}
+	frame := randomFrame(2, 32, 32, 72)
+	if err := cache.Prime(context.Background(), frame); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	mutateRect(frame, 4, 4, 8, 8, 73)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cache.Reprime(cancelled, []image.Rectangle{image.Rect(4, 4, 12, 12)}); err == nil {
+		t.Fatal("Reprime with a cancelled context succeeded")
+	}
+	if cache.Primed() {
+		t.Fatal("cancelled Reprime left a (partially updated) stem observable")
+	}
+	// The next Prime must start clean and serve bit-faithful crops.
+	if err := cache.Prime(context.Background(), frame); err != nil {
+		t.Fatalf("Prime after cancelled Reprime: %v", err)
+	}
+	defer cache.Release()
+	got, ok, err := cache.CropStem(context.Background(), 4, 4, 16, 16)
+	if err != nil || !ok {
+		t.Fatalf("CropStem after recovery: ok=%v err=%v", ok, err)
+	}
+	defer sc.Put(got)
+	want := prefix.Forward(cropTensor(frame, 4, 4, 16, 16), false)
+	defer sc.Put(want)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-cancel crop differs at element %d", i)
+		}
+	}
+}
+
+// FuzzStemReprimeMatchesPrime drives random conv geometries, frames and
+// changed rectangles through the temporal reprime path and bit-compares the
+// updated stem against a direct prefix forward over the mutated frame.
+func FuzzStemReprimeMatchesPrime(f *testing.F) {
+	f.Add(int64(1), 3, 2, 1, 1, 36, 32, 4, 6, 16, 18)
+	f.Add(int64(2), 3, 1, 1, 1, 24, 24, 0, 0, 24, 24)
+	f.Add(int64(3), 1, 1, 0, 1, 20, 28, 7, 3, 9, 11)
+	f.Add(int64(4), 5, 2, 2, 1, 40, 36, 10, 8, 20, 22)
+	f.Add(int64(5), 3, 3, 1, 2, 33, 30, 3, 6, 15, 12)
+	f.Add(int64(6), 1, 1, 2, 1, 16, 16, 5, 5, 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, k, s, p, d, fh, fw, y0, x0, h, w int) {
+		abs := func(v int) int {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		k = 1 + abs(k)%4
+		s = 1 + abs(s)%3
+		p = abs(p) % 3
+		d = 1 + abs(d)%2
+		fh = 10 + abs(fh)%30
+		fw = 10 + abs(fw)%30
+		if ext := (k-1)*d + 1; fh < ext || fw < ext {
+			t.Skip("frame smaller than the kernel extent")
+		}
+		h = 1 + abs(h)%fh
+		w = 1 + abs(w)%fw
+		y0 = abs(y0) % (fh - h + 1)
+		x0 = abs(x0) % (fw - w + 1)
+
+		prefix := stemPrefix(2, 3, k, s, p, d, seed)
+		sc := NewScratch()
+		AttachScratch(prefix, sc)
+		frame := randomFrame(2, fh, fw, seed+1)
+		checkReprimeParity(t, prefix, sc, frame,
+			[]image.Rectangle{image.Rect(x0, y0, x0+w, y0+h)}, seed+2)
+	})
 }
 
 // FuzzCropStemMatchesPrefix drives random conv geometries, frames and crop

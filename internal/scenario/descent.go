@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"safeland/internal/imaging"
+)
+
+// CloneImage deep-copies a frame. Descent synthesis mutates each frame's
+// predecessor, and cached corpus scenes are immutable by contract, so every
+// derived frame starts from a copy.
+func CloneImage(img *imaging.Image) *imaging.Image {
+	out := imaging.NewImage(img.W, img.H)
+	copy(out.Pix, img.Pix)
+	return out
+}
+
+// Descent parameterizes one vehicle's synthetic frame stream over a base
+// scene. The zero value plus a Frames count is usable; Frames <= 0 yields
+// an empty stream.
+type Descent struct {
+	// Frames is the stream length.
+	Frames int
+	// PatchPx is the side of the per-frame perturbed patch; <= 0 uses 10.
+	// Consecutive frames differ only inside this patch, so the deltas are
+	// locality-bounded — the shape session temporal reuse is built for.
+	PatchPx int
+	// Amplitude is the per-channel perturbation half-range; <= 0 uses 0.03.
+	// The perturbation models sensor noise and small appearance drift, mild
+	// enough that it does not read as an anomaly to the monitor.
+	Amplitude float32
+	// Seed drives the perturbation; DescentFrames is deterministic in
+	// (base, Descent), so the same vehicle seed replays the same stream.
+	Seed int64
+}
+
+// DescentFrames synthesizes the frame stream of one descent over base:
+// frame k clones frame k-1 (frame 0 clones base) and perturbs a PatchPx
+// patch whose position advances deterministically with k.
+func DescentFrames(base *imaging.Image, d Descent) []*imaging.Image {
+	patch := d.PatchPx
+	if patch <= 0 {
+		patch = 10
+	}
+	if patch > base.W {
+		patch = base.W
+	}
+	if patch > base.H {
+		patch = base.H
+	}
+	amp := d.Amplitude
+	if amp <= 0 {
+		amp = 0.03
+	}
+	if d.Frames <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	clamp := func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	frames := make([]*imaging.Image, d.Frames)
+	prev := base
+	for k := range frames {
+		f := CloneImage(prev)
+		x0, y0 := 0, 0
+		if base.W > patch {
+			x0 = (7 + 13*k) % (base.W - patch)
+		}
+		if base.H > patch {
+			y0 = (11 + 9*k) % (base.H - patch)
+		}
+		for y := y0; y < y0+patch; y++ {
+			for x := x0; x < x0+patch; x++ {
+				p := &f.Pix[y*f.W+x]
+				p.R = clamp(p.R + (rng.Float32()-0.5)*2*amp)
+				p.G = clamp(p.G + (rng.Float32()-0.5)*2*amp)
+				p.B = clamp(p.B + (rng.Float32()-0.5)*2*amp)
+			}
+		}
+		frames[k] = f
+		prev = f
+	}
+	return frames
+}

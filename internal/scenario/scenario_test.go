@@ -130,6 +130,77 @@ func TestCorpusSingleflight(t *testing.T) {
 	}
 }
 
+// TestCorpusPanickingGenerationStaysRetryable is the singleflight-poisoning
+// regression pin: a first lookup whose generation panics must propagate the
+// panic AND leave the slot retryable, so a later lookup of the same key
+// generates the scene instead of being served a nil scene counted as a
+// cache hit (the sync.Once slot marked itself done mid-panic).
+func TestCorpusPanickingGenerationStaysRetryable(t *testing.T) {
+	orig := generateScene
+	defer func() { generateScene = orig }()
+	calls := 0
+	generateScene = func(sp Spec) *urban.Scene {
+		calls++
+		if calls == 1 {
+			panic("scenario test: injected generation failure")
+		}
+		return orig(sp)
+	}
+
+	c := NewCorpus()
+	sp := tinySpec(40)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first lookup did not propagate the generation panic")
+			}
+		}()
+		c.Scene(sp)
+	}()
+	if st := c.Stats(); st.Generated != 0 || st.Hits != 0 || st.Resident != 0 {
+		t.Fatalf("stats after failed generation = %+v, want all zero", st)
+	}
+
+	got := c.Scene(sp)
+	if got == nil {
+		t.Fatal("retry after failed generation returned a nil scene")
+	}
+	if want := urban.Generate(sp.Cfg, sp.Cond, sp.Seed); !reflect.DeepEqual(got, want) {
+		t.Fatal("retried scene diverges from a direct urban.Generate")
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2 (failed attempt + retry)", calls)
+	}
+	st := c.Stats()
+	if st.Generated != 1 || st.Hits != 0 || st.Resident != 1 {
+		t.Fatalf("stats after retry = %+v, want 1 generated / 0 hits / 1 resident", st)
+	}
+	if again := c.Scene(sp); again != got {
+		t.Fatal("third lookup did not serve the cached retried scene")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hits after cached lookup = %d, want 1", st.Hits)
+	}
+}
+
+// TestCorpusNilGenerationPanics pins the other poisoning shape: a generator
+// that returns nil must fail loudly instead of caching nil.
+func TestCorpusNilGenerationPanics(t *testing.T) {
+	orig := generateScene
+	defer func() { generateScene = orig }()
+	generateScene = func(Spec) *urban.Scene { return nil }
+	c := NewCorpus()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil generation did not panic")
+		}
+		if st := c.Stats(); st.Resident != 0 {
+			t.Fatalf("nil generation left %d resident scenes", st.Resident)
+		}
+	}()
+	c.Scene(tinySpec(41))
+}
+
 func TestDiskCorpusRoundtrip(t *testing.T) {
 	dir := t.TempDir()
 	sp := tinySpec(5)

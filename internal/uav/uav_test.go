@@ -283,6 +283,48 @@ func TestMissionNavigationLossTriggersELOrFT(t *testing.T) {
 	}
 }
 
+// ctxPlannerFunc adapts a function to LandingPlannerCtx; the plain
+// PlanLanding form runs it under a background context.
+type ctxPlannerFunc func(ctx context.Context, s *urban.Scene, x, y float64) (float64, float64, bool)
+
+func (f ctxPlannerFunc) PlanLanding(s *urban.Scene, x, y float64) (float64, float64, bool) {
+	return f(context.Background(), s, x, y)
+}
+
+func (f ctxPlannerFunc) PlanLandingCtx(ctx context.Context, s *urban.Scene, x, y float64) (float64, float64, bool) {
+	return f(ctx, s, x, y)
+}
+
+func TestMissionRunCtxThreadsContextToPlanner(t *testing.T) {
+	scene := testScene()
+	// A ctx-honoring planner: refuses when the context is done, otherwise
+	// lands in place.
+	planner := ctxPlannerFunc(func(ctx context.Context, s *urban.Scene, x, y float64) (float64, float64, bool) {
+		if ctx.Err() != nil {
+			return 0, 0, false
+		}
+		return x, y, true
+	})
+
+	live := baseMission(scene)
+	live.Planner = planner
+	live.Failures = []TimedFailure{{AtS: 3, Kind: NavigationLoss}}
+	if out := live.RunCtx(context.Background()); out.Maneuver != EmergencyLanding {
+		t.Fatalf("live ctx: maneuver = %v, want EL; log: %v", out.Maneuver, out.Log)
+	}
+
+	// A cancelled mission context reaches the planner, whose refusal takes
+	// the conservative flight-termination branch.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := baseMission(scene)
+	dead.Planner = planner
+	dead.Failures = []TimedFailure{{AtS: 3, Kind: NavigationLoss}}
+	if out := dead.RunCtx(cancelled); out.Maneuver != FlightTermination {
+		t.Fatalf("cancelled ctx: maneuver = %v, want FT; log: %v", out.Maneuver, out.Log)
+	}
+}
+
 func TestMissionPlannerFailureFallsBackToFT(t *testing.T) {
 	m := baseMission(testScene())
 	m.Planner = plannerFunc(func(*urban.Scene, float64, float64) (float64, float64, bool) {

@@ -1,0 +1,102 @@
+package safeland
+
+import (
+	"context"
+	"sync"
+)
+
+// replicaPool hands out the engine's worker replicas in two priority
+// classes. Waiters are FIFO within a class; a released replica always goes
+// to a waiting safety-class request before any routine one, so a
+// safety-switch activation jumps the whole routine queue. The pool is a
+// pure scheduler: it never creates or destroys replicas, and the Engine's
+// determinism does not depend on which replica serves which request (the
+// monitor reseeds per call).
+type replicaPool struct {
+	mu      sync.Mutex
+	free    []Selector
+	safety  []chan Selector
+	routine []chan Selector
+}
+
+func newReplicaPool(sels []Selector) *replicaPool {
+	return &replicaPool{free: sels}
+}
+
+// tryAcquire returns a free replica without waiting.
+func (p *replicaPool) tryAcquire() (Selector, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		sel := p.free[n-1]
+		p.free = p.free[:n-1]
+		return sel, true
+	}
+	return nil, false
+}
+
+// acquire returns a free replica, queueing in the given class when none is
+// free. A cancelled wait returns ctx's error; when cancellation races a
+// hand-off, the replica is re-released (never leaked) and the wait still
+// fails.
+func (p *replicaPool) acquire(ctx context.Context, safety bool) (Selector, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		sel := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return sel, nil
+	}
+	w := make(chan Selector, 1)
+	q := &p.routine
+	if safety {
+		q = &p.safety
+	}
+	*q = append(*q, w)
+	p.mu.Unlock()
+
+	select {
+	case sel := <-w:
+		return sel, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		removed := removeWaiter(q, w)
+		p.mu.Unlock()
+		if !removed {
+			// A release dequeued us before the cancellation landed; the
+			// hand-off into the buffered channel completes, so take the
+			// replica back out and return it to the pool.
+			p.release(<-w)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release hands the replica to the longest-waiting safety request, then the
+// longest-waiting routine one, then back to the free list.
+func (p *replicaPool) release(sel Selector) {
+	p.mu.Lock()
+	var w chan Selector
+	switch {
+	case len(p.safety) > 0:
+		w, p.safety = p.safety[0], p.safety[1:]
+	case len(p.routine) > 0:
+		w, p.routine = p.routine[0], p.routine[1:]
+	default:
+		p.free = append(p.free, sel)
+	}
+	p.mu.Unlock()
+	if w != nil {
+		w <- sel
+	}
+}
+
+func removeWaiter(q *[]chan Selector, w chan Selector) bool {
+	for i, c := range *q {
+		if c == w {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

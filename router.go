@@ -1,0 +1,67 @@
+package safeland
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Router shards descent sessions across several Engines by vehicle ID, so a
+// fleet service scales past one replica pool: every vehicle hashes to a
+// fixed shard (FNV-1a mod shard count), keeping all frames of one descent —
+// and therefore the session's cached stem — on the same engine. Admission
+// control stays per-shard: a saturated shard rejects with ErrSessionLimit
+// even when another shard has room, which keeps placement deterministic;
+// callers who want spillover handle the rejection themselves.
+type Router struct {
+	engines []*Engine
+}
+
+// NewRouter builds a router over the given shards; at least one engine is
+// required and none may be nil. The router does not own the engines —
+// closing them remains the caller's job unless Close is used.
+func NewRouter(engines ...*Engine) (*Router, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("safeland: router needs at least one engine")
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("safeland: router engine %d is nil", i)
+		}
+	}
+	return &Router{engines: append([]*Engine(nil), engines...)}, nil
+}
+
+// Shards returns the number of engines behind the router.
+func (r *Router) Shards() int { return len(r.engines) }
+
+// Engine returns the shard serving vehicleID; the mapping is stable for the
+// router's lifetime.
+func (r *Router) Engine(vehicleID string) *Engine {
+	h := fnv.New32a()
+	h.Write([]byte(vehicleID))
+	return r.engines[h.Sum32()%uint32(len(r.engines))]
+}
+
+// NewSession opens a descent stream on the vehicle's shard; see
+// Engine.NewSession for the admission contract.
+func (r *Router) NewSession(vehicleID string, opts ...SessionOption) (*Session, error) {
+	return r.Engine(vehicleID).NewSession(vehicleID, opts...)
+}
+
+// Stats returns per-shard snapshots, index-aligned with the engines the
+// router was built over.
+func (r *Router) Stats() []EngineStats {
+	out := make([]EngineStats, len(r.engines))
+	for i, e := range r.engines {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// Close releases every shard's parallelism reservation (Engine.Close).
+func (r *Router) Close() error {
+	for _, e := range r.engines {
+		e.Close()
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package safeland
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"image"
+	"sync"
+	"time"
+
+	"safeland/internal/core"
+	"safeland/internal/imaging"
+	"safeland/internal/monitor"
+)
+
+// ErrSessionLimit is returned by NewSession when the engine's admission
+// limit (WithMaxSessions) is reached. The rejection is immediate — sessions
+// are never queued — so the fleet layer can shed the vehicle to another
+// shard or fall back to stateless Select calls.
+var ErrSessionLimit = errors.New("safeland: session limit reached")
+
+// ErrPreempted is the cause a routine session advance is cancelled with
+// when a safety-class advance needs its worker replica. Match it with
+// errors.Is on SessionResponse.Err; the caller retries the frame (its
+// trigger has usually fired by then, promoting the retry to safety class).
+var ErrPreempted = errors.New("safeland: routine selection preempted by a safety-class request")
+
+// ErrSessionClosed is returned by Advance on a closed session.
+var ErrSessionClosed = errors.New("safeland: session is closed")
+
+// SafetyTrigger is a thread-safe latch that promotes a session to the
+// safety priority class: once any goroutine fires it — a failure monitor, a
+// geofence breach, the mission safety switch — every subsequent Advance on
+// sessions bound to it runs in the safety class, and one in-flight routine
+// advance on the engine is preempted to free a replica immediately. The
+// first Trigger wins; later calls are no-ops that keep the first reason.
+type SafetyTrigger struct {
+	mu     sync.Mutex
+	fired  bool
+	reason string
+	done   chan struct{}
+}
+
+// NewSafetyTrigger returns an unfired trigger.
+func NewSafetyTrigger() *SafetyTrigger {
+	return &SafetyTrigger{done: make(chan struct{})}
+}
+
+// Trigger latches the trigger with the given reason and reports whether
+// this call fired it (false when it was already fired; the original reason
+// is kept).
+func (t *SafetyTrigger) Trigger(reason string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired {
+		return false
+	}
+	t.fired = true
+	t.reason = reason
+	close(t.done)
+	return true
+}
+
+// Triggered reports whether the trigger has fired.
+func (t *SafetyTrigger) Triggered() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}
+
+// Reason returns the reason of the first Trigger call, "" while unfired.
+func (t *SafetyTrigger) Reason() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reason
+}
+
+// Done returns a channel closed when the trigger fires; an in-flight
+// routine advance on a bound session watches it to abort mid-trial.
+func (t *SafetyTrigger) Done() <-chan struct{} { return t.done }
+
+// DefaultDiffTile is the frame-diff granularity (pixels) sessions use when
+// WithDiffTile is not given.
+const DefaultDiffTile = 32
+
+// sessionConfig collects the SessionOption values.
+type sessionConfig struct {
+	reuse    bool
+	diffTile int
+	trigger  *SafetyTrigger
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionConfig)
+
+// WithSessionReuse toggles temporal reuse (default on). With reuse off,
+// every Advance runs the full selection from a cold frame context and is
+// byte-identical to an independent Engine.Select of the same request; with
+// reuse on, only changed tiles are re-primed and an unchanged confirmed
+// zone is re-verified without a new candidate search.
+func WithSessionReuse(on bool) SessionOption {
+	return func(c *sessionConfig) { c.reuse = on }
+}
+
+// WithDiffTile sets the tile size (pixels) of the frame diff that decides
+// which stem regions to re-prime between consecutive frames. Values below 1
+// keep DefaultDiffTile.
+func WithDiffTile(px int) SessionOption {
+	return func(c *sessionConfig) {
+		if px >= 1 {
+			c.diffTile = px
+		}
+	}
+}
+
+// WithSessionTrigger binds a safety trigger to the session; see
+// SafetyTrigger. One trigger may be shared by several sessions of the same
+// vehicle's subsystems.
+func WithSessionTrigger(t *SafetyTrigger) SessionOption {
+	return func(c *sessionConfig) { c.trigger = t }
+}
+
+// Session is a per-vehicle descent stream over an Engine: a sequence of
+// Advance calls over consecutive frames of one vehicle's descent, carrying
+// the previous frame's primed stem forward so each frame pays only for what
+// changed. A session owns a private System replica (weights shared with the
+// engine's under the frozen-weights invariant, scratch state private), so
+// its cached stem survives between frames without holding a pool slot; the
+// replica only computes while Advance holds one of the engine's worker
+// slots, so the pool still bounds total CPU. Monitor verdicts are reseeded
+// per call, so session verdicts are byte-identical to the engine's
+// stateless path on the same pixels.
+//
+// A Session is safe for concurrent use, but Advance calls serialize on the
+// session — streams are per-vehicle and ordered by construction.
+type Session struct {
+	eng     *Engine
+	vehicle string
+	cfg     sessionConfig
+	pipe    *core.Pipeline
+
+	mu      sync.Mutex
+	closed  bool
+	fc      *monitor.FrameContext
+	prevImg *imaging.Image
+	prev    core.Result
+	hasPrev bool
+}
+
+// NewSession opens a descent stream for a vehicle. It is subject to
+// admission control: when the engine already has its maximum number of open
+// sessions (WithMaxSessions), NewSession fails immediately with
+// ErrSessionLimit — it never blocks — and the rejection is counted in
+// EngineStats.SessionRejects. Close the session when the descent ends.
+func (e *Engine) NewSession(vehicleID string, opts ...SessionOption) (*Session, error) {
+	cfg := sessionConfig{reuse: true, diffTile: DefaultDiffTile}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if n := e.sessions.Add(1); n > int64(e.maxSessions) {
+		e.sessions.Add(-1)
+		e.sessionRejects.Add(1)
+		return nil, fmt.Errorf("%w: engine at %d open sessions, vehicle %q rejected", ErrSessionLimit, e.maxSessions, vehicleID)
+	}
+	rep, err := e.sys.Replica()
+	if err != nil {
+		e.sessions.Add(-1)
+		return nil, fmt.Errorf("safeland: building session replica for %q: %w", vehicleID, err)
+	}
+	if e.samples > 0 {
+		rep.Pipeline.Monitor.Samples = e.samples
+	}
+	return &Session{eng: e, vehicle: vehicleID, cfg: cfg, pipe: rep.Pipeline}, nil
+}
+
+// Vehicle returns the vehicle ID the session was opened for.
+func (s *Session) Vehicle() string { return s.vehicle }
+
+// Trigger returns the bound safety trigger, nil when none.
+func (s *Session) Trigger() *SafetyTrigger { return s.cfg.trigger }
+
+// Close ends the stream, releases the cached frame state and frees the
+// session's admission slot. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.resetState()
+	s.eng.sessions.Add(-1)
+	return nil
+}
+
+// resetState drops the temporal state so the next Advance starts cold.
+// Called with s.mu held.
+func (s *Session) resetState() {
+	if s.fc != nil {
+		s.fc.Close()
+		s.fc = nil
+	}
+	s.prevImg = nil
+	s.prev = core.Result{}
+	s.hasPrev = false
+}
+
+// SessionResponse wraps one Advance outcome with trace metadata.
+type SessionResponse struct {
+	// Result is the selection outcome; meaningful only when Err is nil.
+	// On the temporal fast path (Reused) it re-confirms the previous zone:
+	// Trials holds the single re-verification, CandidateCount is 1 and Pred
+	// is nil — the candidate search was skipped, so there is no fresh
+	// full-frame segmentation to report.
+	Result core.Result
+	// Safety is true when the advance ran in the safety priority class
+	// (the bound trigger had fired when the advance started).
+	Safety bool
+	// Reused is true when the frame was served by the temporal fast path:
+	// changed tiles re-primed, previous confirmed zone re-verified.
+	Reused bool
+	// Changed is the number of changed regions re-primed on this frame
+	// (0 on a cold or reuse-disabled frame).
+	Changed int
+	// Queued is how long the advance waited for a worker slot.
+	Queued time.Duration
+	// Elapsed is the processing time, excluding queueing.
+	Elapsed time.Duration
+	// Err is non-nil when the advance was cancelled, timed out while
+	// queued, preempted (ErrPreempted), or the request was malformed.
+	Err error
+}
+
+// Advance serves the next frame of the descent. The request is the same
+// shape Select takes; the frame must keep its size across the stream for
+// reuse to engage (a size change restarts the stream cold, it is not an
+// error). When the bound trigger has fired, the advance runs in the safety
+// class: it may preempt a routine advance to get a replica and it jumps the
+// routine queue. On any error the temporal state is dropped, so the next
+// Advance starts from a clean full computation.
+func (s *Session) Advance(ctx context.Context, req SelectRequest) SessionResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := SessionResponse{}
+	if s.closed {
+		resp.Err = ErrSessionClosed
+		return resp
+	}
+	img, mpp, err := req.frame()
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	e := s.eng
+	safety := s.cfg.trigger != nil && s.cfg.trigger.Triggered()
+	resp.Safety = safety
+
+	// Like Engine.run, the request deadline bounds queueing only.
+	waitCtx := ctx
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
+	}
+	enqueued := time.Now()
+	var slot Selector
+	if safety {
+		if got, ok := e.pool.tryAcquire(); ok {
+			slot = got
+		} else {
+			// No free replica: preempt the oldest routine advance, then
+			// wait at safety priority for the first release (the preempted
+			// advance aborts within one layer's work).
+			e.preemptOneRoutine()
+		}
+	}
+	if slot == nil {
+		slot, err = e.pool.acquire(waitCtx, safety)
+		if err != nil {
+			resp.Queued = time.Since(enqueued)
+			resp.Err = err
+			return resp
+		}
+	}
+	resp.Queued = time.Since(enqueued)
+	defer e.pool.release(slot)
+	if err := waitCtx.Err(); err != nil {
+		resp.Err = err
+		return resp
+	}
+
+	// Routine advances are preemptible: register a cancel-with-cause so a
+	// safety-class advance can take the slot, and watch the session's own
+	// trigger so a mid-frame activation aborts this frame too.
+	cctx := ctx
+	if !safety {
+		var cancel context.CancelCauseFunc
+		cctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		id := e.registerPreemptible(cancel)
+		defer e.unregisterPreemptible(id)
+		if s.cfg.trigger != nil {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-s.cfg.trigger.Done():
+					cancel(ErrPreempted)
+				case <-stop:
+				}
+			}()
+		}
+	}
+
+	start := time.Now()
+	res, reused, changed, err := s.compute(cctx, img, mpp, req)
+	resp.Elapsed = time.Since(start)
+	resp.Result, resp.Reused, resp.Changed = res, reused, changed
+	if err != nil {
+		if errors.Is(context.Cause(cctx), ErrPreempted) {
+			err = fmt.Errorf("%w (vehicle %q)", ErrPreempted, s.vehicle)
+		}
+		resp.Err = err
+		s.resetState()
+		return resp
+	}
+	e.frames.Add(1)
+	if reused {
+		e.framesReused.Add(1)
+	}
+	s.prevImg = img
+	s.prev = res
+	s.hasPrev = true
+	return resp
+}
+
+// compute runs one frame's selection. It returns the result, whether the
+// temporal fast path served it, and how many changed regions were
+// re-primed. Called with s.mu held and a pool slot acquired.
+func (s *Session) compute(ctx context.Context, img *imaging.Image, mpp float64, req SelectRequest) (core.Result, bool, int, error) {
+	zones := s.pipe.Zones
+	zones.HomeX, zones.HomeY = req.HomeX, req.HomeY
+
+	if !s.cfg.reuse {
+		// Stateless path: exactly what the engine's pipeline backend runs
+		// for an independent Select — the parity tests pin this.
+		res, err := s.pipe.SelectWithConfigCtx(ctx, img, mpp, zones)
+		return res, false, 0, err
+	}
+
+	warm := s.fc != nil && s.hasPrev && s.prevImg != nil &&
+		s.prevImg.W == img.W && s.prevImg.H == img.H
+	if !warm {
+		if s.fc != nil {
+			s.fc.Close()
+		}
+		s.fc = s.pipe.Monitor.NewFrameContext(img)
+		res, err := s.pipe.SelectInFrame(ctx, s.fc, mpp, zones)
+		return res, false, 0, err
+	}
+
+	changed := diffFrames(s.prevImg, img, s.cfg.diffTile)
+	if err := s.fc.Advance(ctx, img, changed); err != nil {
+		return core.Result{}, false, len(changed), err
+	}
+	if s.prev.Confirmed {
+		// Re-verify the previously confirmed zone first: on a quiet frame
+		// this is the whole cost — one monitored crop over a stem that only
+		// re-primed the changed tiles.
+		x0, y0, size := s.prev.Zone.CropRect(img.W, img.H)
+		v, err := s.fc.VerifyZoneCtx(ctx, x0, y0, size, size, s.pipe.Rule)
+		if err != nil {
+			return core.Result{}, false, len(changed), err
+		}
+		if v.Confirmed {
+			res := core.Result{
+				Confirmed:      true,
+				Zone:           s.prev.Zone,
+				Trials:         []core.Trial{{Candidate: s.prev.Zone, Verdict: v}},
+				CandidateCount: 1,
+				State:          core.Landing,
+				UsedBufferM:    s.prev.UsedBufferM,
+			}
+			return res, true, len(changed), nil
+		}
+	}
+	// Previous zone disputed (or none confirmed): fall back to the full
+	// selection over the advanced context — same bytes as a fresh selection
+	// on this frame, the stem reuse only saves the recompute.
+	res, err := s.pipe.SelectInFrame(ctx, s.fc, mpp, zones)
+	return res, false, len(changed), err
+}
+
+// registerPreemptible enters a routine advance's cancel into the engine's
+// preemption registry and returns its id.
+func (e *Engine) registerPreemptible(cancel context.CancelCauseFunc) int64 {
+	e.preemptMu.Lock()
+	defer e.preemptMu.Unlock()
+	e.preemptSeq++
+	e.preemptible[e.preemptSeq] = cancel
+	return e.preemptSeq
+}
+
+func (e *Engine) unregisterPreemptible(id int64) {
+	e.preemptMu.Lock()
+	delete(e.preemptible, id)
+	e.preemptMu.Unlock()
+}
+
+// preemptOneRoutine cancels the oldest in-flight routine session advance
+// with cause ErrPreempted, freeing its replica for a safety-class advance
+// within one layer's work. It reports whether an advance was preempted.
+func (e *Engine) preemptOneRoutine() bool {
+	e.preemptMu.Lock()
+	best := int64(-1)
+	for id := range e.preemptible {
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	var cancel context.CancelCauseFunc
+	if best >= 0 {
+		cancel = e.preemptible[best]
+		delete(e.preemptible, best)
+	}
+	e.preemptMu.Unlock()
+	if cancel == nil {
+		return false
+	}
+	cancel(ErrPreempted)
+	e.preempted.Add(1)
+	return true
+}
+
+// diffFrames returns tile-aligned rectangles covering every pixel where
+// prev and next differ (exact float32 RGB comparison). Horizontally
+// adjacent changed tiles merge into one rectangle per tile row; the frames
+// must have equal dimensions.
+func diffFrames(prev, next *imaging.Image, tile int) []image.Rectangle {
+	if tile < 1 {
+		tile = 1
+	}
+	var out []image.Rectangle
+	for y0 := 0; y0 < next.H; y0 += tile {
+		y1 := y0 + tile
+		if y1 > next.H {
+			y1 = next.H
+		}
+		runStart := -1
+		flush := func(end int) {
+			if runStart >= 0 {
+				out = append(out, image.Rect(runStart, y0, end, y1))
+				runStart = -1
+			}
+		}
+		for x0 := 0; x0 < next.W; x0 += tile {
+			x1 := x0 + tile
+			if x1 > next.W {
+				x1 = next.W
+			}
+			if tileChanged(prev, next, x0, y0, x1, y1) {
+				if runStart < 0 {
+					runStart = x0
+				}
+			} else {
+				flush(x0)
+			}
+		}
+		flush(next.W)
+	}
+	return out
+}
+
+func tileChanged(prev, next *imaging.Image, x0, y0, x1, y1 int) bool {
+	for y := y0; y < y1; y++ {
+		a := prev.Pix[y*prev.W+x0 : y*prev.W+x1]
+		b := next.Pix[y*next.W+x0 : y*next.W+x1]
+		for i := range a {
+			if a[i] != b[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
