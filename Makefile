@@ -6,6 +6,7 @@
 #   make grid        # E11 grid coverage standalone (quick scale)
 #   make e12         # E12 full-frame monitoring standalone (quick scale)
 #   make e13         # E13 descent-session fleet study standalone (quick scale)
+#   make chaos       # E14 chaos drill standalone (quick scale)
 #   make fuzz-smoke  # a few seconds of each fuzz target
 
 GO ?= go
@@ -22,7 +23,7 @@ NN_BENCH = ^(BenchmarkConvForwardSmall|BenchmarkConvForwardE8Scene|BenchmarkConv
 # so machine-load drift cancels out of the ratio) must stay < 10.
 MONITOR_BENCH = ^(BenchmarkMCStats|BenchmarkCropVerdictCachedStem|BenchmarkFullFrameVerdict)$$
 
-.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid e12 e13 fuzz-smoke
+.PHONY: check fmt vet build test race race-experiments bench bench-smoke grid e12 e13 chaos fuzz-smoke
 
 check: fmt vet build race bench-smoke
 
@@ -61,7 +62,9 @@ race-experiments:
 # Engine batch scaling curve (BenchmarkEngineBatch{1,4,8}Workers) lands in
 # BENCH_engine.json, the descent-session fleet curve
 # (BenchmarkSessionFleet{100,1000}, reuse vs full-recompute arms with
-# ns/frame metrics) in BENCH_serve.json, the strategy-fleet curve
+# ns/frame metrics, plus BenchmarkSessionFleetChaos — the same fleet under
+# injected faults with degraded-mode serving) in BENCH_serve.json, the
+# strategy-fleet curve
 # (BenchmarkExperimentE8Workers{1,4,8}) in BENCH_experiments.json and the
 # E11 grid-fleet curve (BenchmarkExperimentE11Workers{1,4,8}) in
 # BENCH_grid.json as test2json events, so the perf trajectory is tracked
@@ -96,6 +99,11 @@ e12:
 e13:
 	$(GO) run ./cmd/elbench -quick -run E13
 
+# E14 chaos drill standalone: the descent fleet under a published fault
+# schedule — degraded-mode serving, breaker failover — at quick scale.
+chaos:
+	$(GO) run ./cmd/elbench -quick -run E14
+
 # A few seconds of coverage-guided input generation per fuzz target — the
 # cheap regression pass; leave the long campaigns to dedicated runs.
 fuzz-smoke:
@@ -105,3 +113,4 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzConvForwardMatchesReference -fuzztime=5s ./internal/nn
 	$(GO) test -run=^$$ -fuzz=FuzzCropStemMatchesPrefix -fuzztime=5s ./internal/nn
 	$(GO) test -run=^$$ -fuzz=FuzzStemReprimeMatchesPrime -fuzztime=5s ./internal/nn
+	$(GO) test -run=^$$ -fuzz=FuzzInjectorDeterminism -fuzztime=5s ./internal/faults

@@ -2,9 +2,11 @@
 // (experiments E1–E10, see DESIGN.md) plus the E11 grid-coverage
 // experiment over the scenario axes, the E12 full-frame monitoring
 // study (crop-only vs whole-frame Bayesian verdicts over a shared
-// per-frame stem) and the E13 descent-session fleet study (per-frame
-// recompute vs session temporal reuse). The model-dependent experiments
-// (E5, E7–E13) run as scenario fleets streamed through the safeland.Engine
+// per-frame stem), the E13 descent-session fleet study (per-frame
+// recompute vs session temporal reuse) and the E14 chaos drill (the
+// descent fleet under a published fault schedule with degraded-mode
+// serving and health-aware failover). The model-dependent experiments
+// (E5, E7–E14) run as scenario fleets streamed through the safeland.Engine
 // worker pool, drawing every scene from the shared content-addressed
 // corpus; -workers sizes the pool without changing any reported number
 // (per-scene seeding keeps fleet output byte-identical across worker
@@ -21,6 +23,7 @@
 //	elbench -run E11 -axes winds=1,hours=2   # shape individual axes
 //	elbench -run E12 -quick           # full-frame monitoring study, quick scale
 //	elbench -run E13 -quick           # descent-session fleet study, quick scale
+//	elbench -run E14 -quick           # chaos drill, quick scale
 //	elbench -out results.txt
 package main
 
@@ -46,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
+		runIDs  = fs.String("run", "all", "comma-separated experiment IDs (E1..E14) or 'all'")
 		quick   = fs.Bool("quick", false, "reduced scale for smoke testing")
 		outPth  = fs.String("out", "", "also write output to this file")
 		seed    = fs.Int64("seed", 0, "override the experiment seed (0 keeps the default)")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"safeland/internal/core"
+	"safeland/internal/faults"
 	"safeland/internal/imaging"
 	"safeland/internal/nn"
 	"safeland/internal/sora"
@@ -34,10 +35,14 @@ type SelectRequest struct {
 	HomeX, HomeY float64
 	// Deadline, when nonzero, bounds how long this one request may wait
 	// for a worker, in addition to the context passed to the Engine call.
-	// The deadline guards queueing only: a request that reaches a worker
-	// before the deadline runs under the caller's context alone, which —
-	// unlike the deadline — is honored mid-trial by the perception stack,
-	// so cancelling the Engine call aborts a selection already in progress.
+	// By default the deadline guards queueing only: a request that reaches
+	// a worker before the deadline runs under the caller's context alone,
+	// which — unlike the deadline — is honored mid-trial by the perception
+	// stack, so cancelling the Engine call aborts a selection already in
+	// progress. In degraded mode (WithDegradedFallback) the deadline is the
+	// request's whole compute budget instead: it bounds queueing, retries
+	// and the selection itself, and blowing it answers with the FT fallback
+	// rather than an error.
 	Deadline time.Time
 }
 
@@ -55,6 +60,20 @@ type SelectResponse struct {
 	Queued time.Duration
 	// Elapsed is the backend's processing time, excluding queueing.
 	Elapsed time.Duration
+	// Retried counts how many extra attempts this request took after a
+	// transient fault (always 0 outside degraded mode, at most the bounded
+	// retry budget inside it).
+	Retried int
+	// Degraded is true when the budget was exhausted and Result carries the
+	// fault-tolerant fallback zone instead of a monitored selection:
+	// Result.State is core.Degraded and Result.Confirmed is false — a
+	// degraded answer never claims verification. Err is nil on a degraded
+	// response; DegradedCause names the fault that exhausted the budget.
+	Degraded bool
+	// DegradedCause is the budget-exhausting fault ("selector-error",
+	// "shard-blackout", "preempted", "budget-exhausted", ...); "" unless
+	// Degraded.
+	DegradedCause string
 	// Err is non-nil when the request was cancelled, timed out while
 	// queued, or was rejected by the backend (e.g. a malformed request).
 	Err error
@@ -112,6 +131,24 @@ type EngineStats struct {
 	// Preempted counts routine session advances cancelled mid-trial so
 	// their worker replica could be handed to a safety-class advance.
 	Preempted int64
+	// Degraded counts requests and session frames answered by the
+	// fault-tolerant fallback after their compute budget was exhausted
+	// (WithDegradedFallback). Degraded frames are included in Frames — they
+	// were served, just not by the monitored pipeline.
+	Degraded int64
+	// Retried counts extra attempts spent outrunning transient faults in
+	// degraded mode (injected faults, preempted advances). One recovered
+	// frame contributes one retry and no degradation.
+	Retried int64
+	// Spilled counts sessions the Router placed on this shard because the
+	// vehicle's home shard was saturated or breaker-open. The counter lives
+	// on the home shard — it reads as "sessions this shard shed elsewhere".
+	Spilled int64
+	// BreakerOpen counts transitions of this shard's circuit breaker into
+	// the open state (WithBreaker). While open, NewSession rejects with
+	// ErrShardUnhealthy (also counted in SessionRejects) and the Router
+	// routes new vehicles around the shard.
+	BreakerOpen int64
 	// Corpus reports the attached scene source (WithCorpusStats); zero
 	// when no source is attached.
 	Corpus CorpusStats
@@ -127,6 +164,15 @@ type engineConfig struct {
 	workers     int
 	maxSessions int
 	corpusStats func() CorpusStats
+
+	// Fault-tolerance knobs (faulttolerance.go options).
+	name             string
+	inj              *faults.Injector
+	degrade          bool
+	backoffBase      time.Duration
+	backoffMax       time.Duration
+	breakerThreshold int
+	breakerCooldown  int
 }
 
 // Option configures NewEngine.
@@ -250,7 +296,17 @@ type Engine struct {
 	sys      *System
 	workers  int
 	selector string
+	name     string
 	pool     *replicaPool
+	// inj is the chaos injector (WithFaultInjector); nil injects nothing.
+	inj *faults.Injector
+	// degrade enables degraded-mode serving (WithDegradedFallback): budget
+	// semantics for Deadline, bounded retries, FT fallback on exhaustion.
+	degrade     bool
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	// health is the per-shard circuit breaker gating session placement.
+	health *breaker
 	// samples is the WithMonitorSamples override, re-applied to the replica
 	// each NewSession builds (worker replicas get it at construction).
 	samples int
@@ -270,6 +326,14 @@ type Engine struct {
 	frames         atomic.Int64
 	framesReused   atomic.Int64
 	preempted      atomic.Int64
+	degraded       atomic.Int64
+	retried        atomic.Int64
+	spilled        atomic.Int64
+	breakerOpened  atomic.Int64
+
+	// chaosSeq numbers stateless Select/Serve requests as fault-injection
+	// frame coordinates (sessions use their own per-stream frame counter).
+	chaosSeq atomic.Int64
 
 	// preemptible registers the cancel funcs of in-flight routine session
 	// advances, keyed by a monotonically increasing id so preemption picks
@@ -285,7 +349,12 @@ type Engine struct {
 // WithSeed/WithTraining/WithMonitorSamples scale (the DefaultOptions scale
 // when unset).
 func NewEngine(opts ...Option) (*Engine, error) {
-	cfg := engineConfig{train: DefaultOptions(), factory: PipelineSelector(), workers: DefaultWorkers()}
+	cfg := engineConfig{
+		train: DefaultOptions(), factory: PipelineSelector(), workers: DefaultWorkers(),
+		name:        "engine",
+		backoffBase: 2 * time.Millisecond, backoffMax: 50 * time.Millisecond,
+		breakerThreshold: DefaultBreakerThreshold, breakerCooldown: DefaultBreakerCooldown,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -328,7 +397,13 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		release:     release,
 		corpusStats: cfg.corpusStats,
 		preemptible: make(map[int64]context.CancelCauseFunc),
+		name:        cfg.name,
+		inj:         cfg.inj,
+		degrade:     cfg.degrade,
+		backoffBase: cfg.backoffBase,
+		backoffMax:  cfg.backoffMax,
 	}
+	e.health = newBreaker(cfg.breakerThreshold, cfg.breakerCooldown, &e.breakerOpened)
 	sels := make([]Selector, 0, cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
 		rep, err := sys.Replica()
@@ -391,6 +466,10 @@ func (e *Engine) Stats() EngineStats {
 		Frames:         e.frames.Load(),
 		FramesReused:   e.framesReused.Load(),
 		Preempted:      e.preempted.Load(),
+		Degraded:       e.degraded.Load(),
+		Retried:        e.retried.Load(),
+		Spilled:        e.spilled.Load(),
+		BreakerOpen:    e.breakerOpened.Load(),
 	}
 	if e.corpusStats != nil {
 		st.Corpus = e.corpusStats()
@@ -424,32 +503,91 @@ func (e *Engine) run(ctx context.Context, req SelectRequest, idx int) SelectResp
 			e.failed.Add(1)
 		}
 	}()
-	// The request deadline only bounds queueing, so it guards the wait
-	// but never reaches the backend: once a worker starts, the selection
-	// runs under the caller's context alone.
+	// By default the request deadline only bounds queueing, so it guards
+	// the wait but never reaches the backend: once a worker starts, the
+	// selection runs under the caller's context alone. In degraded mode it
+	// is the whole compute budget instead (see SelectRequest.Deadline).
 	waitCtx := ctx
 	if !req.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		waitCtx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
 	}
+	frame := int(e.chaosSeq.Add(1) - 1)
+	var served bool
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			e.retried.Add(1)
+			resp.Retried++
+			if err := sleepCtx(waitCtx, e.retryDelay(e.name, frame, attempt)); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		err := e.selectOnce(ctx, waitCtx, req, frame, attempt, &served, &resp)
+		if err == nil {
+			e.health.observe(true)
+			return resp
+		}
+		lastErr = err
+		if attempt >= e.retryBudget() || !e.retryableFault(err) || waitCtx.Err() != nil {
+			break
+		}
+	}
+	if shardFault(lastErr, ctx) {
+		e.health.observe(false)
+	}
+	if e.degrade && degradable(lastErr, ctx) {
+		if img, mpp, ferr := req.frame(); ferr == nil {
+			e.degraded.Add(1)
+			resp.Degraded = true
+			resp.DegradedCause = degradedCause(lastErr)
+			resp.Result = e.ftFallback(req, img, mpp)
+			resp.Err = nil
+			return resp
+		}
+	}
+	resp.Err = lastErr
+	return resp
+}
+
+// selectOnce runs one attempt at a stateless selection: blackout check,
+// slot acquisition, transient injection (first attempts only), backend
+// call. Queued/Elapsed accumulate across attempts on resp.
+func (e *Engine) selectOnce(ctx, waitCtx context.Context, req SelectRequest, frame, attempt int, served *bool, resp *SelectResponse) error {
+	if err := e.blackedOut(frame); err != nil {
+		return err
+	}
 	enqueued := time.Now()
 	sel, err := e.pool.acquire(waitCtx, false)
-	resp.Queued = time.Since(enqueued)
+	resp.Queued += time.Since(enqueued)
 	if err != nil {
-		resp.Err = err
-		return resp
+		return err
 	}
 	defer e.pool.release(sel)
 	if err := waitCtx.Err(); err != nil {
-		resp.Err = err
-		return resp
+		return err
 	}
-	e.served.Add(1)
+	if !*served {
+		*served = true
+		e.served.Add(1)
+	}
+	// In degraded mode the budget bounds the compute too.
+	cctx := ctx
+	if e.degrade {
+		cctx = waitCtx
+	}
 	start := time.Now()
-	resp.Result, resp.Err = sel.Select(ctx, req)
-	resp.Elapsed = time.Since(start)
-	return resp
+	defer func() { resp.Elapsed += time.Since(start) }()
+	if attempt == 0 {
+		if err := e.injectTransient(cctx, e.name, frame); err != nil {
+			return err
+		}
+	}
+	var serr error
+	resp.Result, serr = sel.Select(cctx, req)
+	return serr
 }
 
 // SelectBatch serves a batch of requests across the worker pool and

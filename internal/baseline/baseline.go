@@ -95,6 +95,30 @@ func (Flatness) Select(scene *urban.Scene, zonePx int) (Zone, bool) {
 	return bz, found
 }
 
+// FTCenter "selects" the zone under the current position — the scene
+// center — modeling uncontrolled flight termination, which does not select
+// at all. It is the paper's fault-tolerant floor (Figure 1: a monitor
+// refusal escalates to the FT maneuver) and the degraded-mode fallback the
+// serving stack answers with when perception is faulted: pure geometry, no
+// model in the loop, so it cannot itself fail under perception faults.
+type FTCenter struct{}
+
+// Name implements Selector.
+func (FTCenter) Name() string { return "ft-center" }
+
+// Select implements Selector.
+func (FTCenter) Select(scene *urban.Scene, zonePx int) (Zone, bool) {
+	x0 := (scene.Labels.W - zonePx) / 2
+	y0 := (scene.Labels.H - zonePx) / 2
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	return Zone{X0: x0, Y0: y0, Size: zonePx}, true
+}
+
 // minMeanWindow scans zonePx windows with the given stride and returns the
 // one with the smallest mean value of m.
 func minMeanWindow(m *imaging.Map, zonePx, stride int) (Zone, bool) {

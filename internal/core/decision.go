@@ -19,6 +19,14 @@ const (
 	// Aborted means no candidate could be confirmed within budget; the
 	// flight must be terminated (parachute in place).
 	Aborted
+	// Degraded means the serving layer exhausted its fault budget and
+	// answered with the fault-tolerant baseline zone instead of a verified
+	// selection. The DecisionModule itself never enters this state — it is
+	// produced above the pipeline (safeland degraded-mode serving) — and a
+	// Degraded result never carries Confirmed: the monitor's refusal
+	// semantics survive the fallback, the zone is best-effort geometry
+	// exactly like the paper's fault-tolerant maneuver.
+	Degraded
 )
 
 // String names the state.
@@ -30,6 +38,8 @@ func (s DMState) String() string {
 		return "landing"
 	case Aborted:
 		return "aborted"
+	case Degraded:
+		return "degraded-FT"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}

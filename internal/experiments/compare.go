@@ -53,7 +53,7 @@ func RunE8(e *Env, w io.Writer) error {
 		{"canny edge density", safeland.BaselineSelector(baseline.NewCanny()), spec.ParachuteDeployAltM},
 		{"tile classifier", safeland.BaselineSelector(tiles), spec.ParachuteDeployAltM},
 		{"flatness (depth)", safeland.BaselineSelector(baseline.Flatness{}), spec.ParachuteDeployAltM},
-		{"uncontrolled FT (parachute)", safeland.BaselineSelector(sceneCenterSelector{}), spec.CruiseAltM},
+		{"uncontrolled FT (parachute)", safeland.BaselineSelector(baseline.FTCenter{}), spec.CruiseAltM},
 	}
 
 	fmt.Fprintf(w, "%d emergency scenes, rush hour, wind 2 m/s with gusts.\n", len(specs))

@@ -290,17 +290,19 @@ func (e *Env) Engine() (*safeland.Engine, error) {
 // behind the same SelectBatch surface. workers <= 0 uses Workers(). The
 // Env's scene corpus is attached as the engine's stats source, so
 // Engine.Stats reports the cache feeding the fleets (E11 asserts its grid
-// dedup through that surface).
-func (e *Env) EngineWith(factory safeland.SelectorFactory, workers int) (*safeland.Engine, error) {
+// dedup through that surface). Extra options append after the shared ones —
+// the E14 chaos fleet passes shard names, injectors and degraded mode.
+func (e *Env) EngineWith(factory safeland.SelectorFactory, workers int, opts ...safeland.Option) (*safeland.Engine, error) {
 	if workers <= 0 {
 		workers = e.Workers()
 	}
-	return safeland.NewEngine(
+	base := []safeland.Option{
 		safeland.WithSystem(e.System()),
 		safeland.WithSelector(factory),
 		safeland.WithWorkers(workers),
 		safeland.WithCorpusStats(e.Corpus.EngineStats),
-	)
+	}
+	return safeland.NewEngine(append(base, opts...)...)
 }
 
 // Experiment is one registered paper artifact reproduction.
@@ -326,6 +328,7 @@ func All() []Experiment {
 		{ID: "E11", Title: "Grid coverage — mission fleets over the full scenario axes (2022 populated-area validation)", Run: RunE11},
 		{ID: "E12", Title: "Beyond Section V-B — full-frame Bayesian monitoring over a shared per-frame stem", Run: RunE12},
 		{ID: "E13", Title: "Fleet service — descent sessions with temporal reuse vs per-frame recompute", Run: RunE13},
+		{ID: "E14", Title: "Chaos drill — fleet serving under injected faults, degraded-mode FT fallback (2022 runtime-monitoring evaluation)", Run: RunE14},
 	}
 }
 

@@ -30,9 +30,9 @@ func quickEnv(t *testing.T) *Env {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	if len(exps) != len(wantIDs) {
-		t.Fatalf("registry has %d experiments, want %d (E1–E13)", len(exps), len(wantIDs))
+		t.Fatalf("registry has %d experiments, want %d (E1–E14)", len(exps), len(wantIDs))
 	}
 	seen := map[string]bool{}
 	for i, exp := range exps {
@@ -202,6 +202,70 @@ func TestE13Sessions(t *testing.T) {
 			first.String(), second.String())
 	}
 	t.Logf("E13 output:\n%s", out)
+}
+
+// descentTableBlock extracts the per-split descent table (header line plus
+// its rows) from an experiment report — the block E14's fault-free arm
+// must reproduce byte-identically from E13.
+func descentTableBlock(t *testing.T, out string) string {
+	t.Helper()
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if !strings.HasPrefix(l, "  split") {
+			continue
+		}
+		j := i + 1
+		for j < len(lines) && (strings.HasPrefix(lines[j], "  in-distribution") || strings.HasPrefix(lines[j], "  OOD")) {
+			j++
+		}
+		return strings.Join(lines[i:j], "\n")
+	}
+	t.Fatalf("no descent table in output:\n%s", out)
+	return ""
+}
+
+// TestE14ChaosDrill runs the chaos drill at quick scale. The in-experiment
+// assertions already enforce the serving contract (zero hard-failed
+// frames, degraded verdicts never confirmed, honest fleet counters); here
+// we additionally pin the fault-free arm byte-identical to E13's table
+// (timings masked — the numbers that survive masking are the verdicts),
+// check the published schedule actually appears, and pin the whole report
+// deterministic across runs.
+func TestE14ChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained-model experiment")
+	}
+	env := quickEnv(t)
+	var e13, first, second bytes.Buffer
+	if err := RunE13(env, &e13); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunE14(env, &first); err != nil {
+		t.Fatal(err)
+	}
+	out := first.String()
+	for _, want := range []string{
+		"Published fault schedule", "shard-blackout@shard0", "Chaos arm",
+		"Fleet counters", "Zero hard-failed frames", "degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E14 output missing %q:\n%s", want, out)
+		}
+	}
+	ffTable := descentTableBlock(t, out)
+	e13Table := descentTableBlock(t, e13.String())
+	if maskTimings(ffTable) != maskTimings(e13Table) {
+		t.Errorf("E14 fault-free arm diverges from E13's table:\n--- E13 ---\n%s\n--- E14 ---\n%s",
+			e13Table, ffTable)
+	}
+	if err := RunE14(env, &second); err != nil {
+		t.Fatal(err)
+	}
+	if maskTimings(first.String()) != maskTimings(second.String()) {
+		t.Errorf("E14 report not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+	t.Logf("E14 output:\n%s", out)
 }
 
 // TestE8ParallelMatchesSequential is the fleet-layer acceptance check: the

@@ -58,22 +58,3 @@ func (s staticRiskmapSelector) Select(scene *urban.Scene, zonePx int) (baseline.
 	}
 	return baseline.Zone{X0: x0, Y0: y0, Size: zonePx}, true
 }
-
-// sceneCenterSelector always "picks" the zone under the current position —
-// the E8 stand-in for uncontrolled flight termination, which does not
-// select at all.
-type sceneCenterSelector struct{}
-
-func (sceneCenterSelector) Name() string { return "scene-center" }
-
-func (sceneCenterSelector) Select(scene *urban.Scene, zonePx int) (baseline.Zone, bool) {
-	x0 := (scene.Labels.W - zonePx) / 2
-	y0 := (scene.Labels.H - zonePx) / 2
-	if x0 < 0 {
-		x0 = 0
-	}
-	if y0 < 0 {
-		y0 = 0
-	}
-	return baseline.Zone{X0: x0, Y0: y0, Size: zonePx}, true
-}

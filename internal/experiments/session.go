@@ -12,6 +12,140 @@ import (
 	"safeland/internal/scenario"
 )
 
+// sessionHost abstracts where descent sessions are placed: a single Engine
+// (E13's serving mode) or a sharded Router fleet (E14's chaos arm). Both
+// satisfy it with the same NewSession signature.
+type sessionHost interface {
+	NewSession(vehicleID string, opts ...safeland.SessionOption) (*safeland.Session, error)
+}
+
+// descentSplit names one held-out split and its corpus specs.
+type descentSplit struct {
+	name  string
+	specs []scenario.Spec
+}
+
+// descentSplits returns the two held-out splits the descent fleets fly
+// over, in presentation order.
+func descentSplits(e *Env) []descentSplit {
+	_, testSpecs, oodSpecs := e.datasetSpecs()
+	return []descentSplit{{"in-distribution", testSpecs}, {"OOD (sunset)", oodSpecs}}
+}
+
+// frameOutcome is one descent frame's measured outcome: the session
+// verdict plus (when the runner was given a baseline engine) the
+// independent per-frame recompute of the same frame.
+type frameOutcome struct {
+	Split    string
+	Vehicle  string
+	Frame    int
+	W, H     int
+	Res      core.Result
+	Reused   bool
+	Retried  int
+	Degraded bool
+	Cause    string
+	Elapsed  time.Duration
+
+	FullRes     core.Result
+	FullElapsed time.Duration
+}
+
+// runDescentFleet flies one framesPerDescent-frame synthetic descent per
+// held-out scene (both splits, one vehicle per scene) as sessions placed
+// on host, returning per-frame outcomes in deterministic split/scene/frame
+// order. When full is non-nil every frame is additionally served as an
+// independent full.Select — the paper's per-frame recompute baseline. Any
+// hard-failed frame (a response carrying Err) aborts the run: under
+// degraded-mode serving every frame must resolve as served, retried, or
+// explicitly Degraded.
+func runDescentFleet(e *Env, host sessionHost, full *safeland.Engine, framesPerDescent int, tag string) ([]frameOutcome, error) {
+	ctx := context.Background()
+	var out []frameOutcome
+	for _, split := range descentSplits(e) {
+		for si, sp := range split.specs {
+			scene := e.Corpus.Scene(sp)
+			descent := scenario.Descent{Frames: framesPerDescent, Seed: e.Cfg.Seed + int64(1000*si)}
+			vehicle := fmt.Sprintf("%s/%d", split.name, si)
+			sess, err := host.NewSession(vehicle)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s descent %d: %w", tag, split.name, si, err)
+			}
+			for k, f := range scenario.DescentFrames(scene.Image, descent) {
+				req := safeland.SelectRequest{Image: f, MPP: scene.MPP}
+				o := frameOutcome{Split: split.name, Vehicle: vehicle, Frame: k, W: f.W, H: f.H}
+				if full != nil {
+					fr := full.Select(ctx, req)
+					if fr.Err != nil {
+						sess.Close()
+						return nil, fmt.Errorf("%s %s descent %d frame %d (full): %w", tag, split.name, si, k, fr.Err)
+					}
+					o.FullRes, o.FullElapsed = fr.Result, fr.Elapsed
+				}
+				resp := sess.Advance(ctx, req)
+				if resp.Err != nil {
+					sess.Close()
+					return nil, fmt.Errorf("%s %s descent %d frame %d (session): %w", tag, split.name, si, k, resp.Err)
+				}
+				o.Res, o.Reused, o.Retried = resp.Result, resp.Reused, resp.Retried
+				o.Degraded, o.Cause, o.Elapsed = resp.Degraded, resp.DegradedCause, resp.Elapsed
+				out = append(out, o)
+			}
+			sess.Close()
+		}
+	}
+	return out, nil
+}
+
+// splitNames returns the distinct splits of a fleet run in first-seen
+// order.
+func splitNames(outcomes []frameOutcome) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, o := range outcomes {
+		if !seen[o.Split] {
+			seen[o.Split] = true
+			names = append(names, o.Split)
+		}
+	}
+	return names
+}
+
+// printDescentTable renders the E13 per-split comparison table — frames,
+// temporal fast-path fraction, mean latency of both serving modes,
+// speedup, verdict agreement — from a fleet run that carried the full
+// recompute baseline. E14's fault-free arm prints through the same
+// function, which is what pins it byte-identical to E13's table.
+func printDescentTable(w io.Writer, outcomes []frameOutcome) {
+	fmt.Fprintf(w, "  %-18s %7s %7s %12s %12s %8s %10s\n",
+		"split", "frames", "reused", "full/frame", "sess/frame", "speedup", "agreement")
+	for _, split := range splitNames(outcomes) {
+		var frames, reused, agree int
+		var fullNs, sessNs int64
+		for _, o := range outcomes {
+			if o.Split != split {
+				continue
+			}
+			frames++
+			fullNs += int64(o.FullElapsed)
+			sessNs += int64(o.Elapsed)
+			if o.Reused {
+				reused++
+			}
+			if sameZoneOutcome(o.Res, o.FullRes, o.W, o.H) {
+				agree++
+			}
+		}
+		speedup := float64(fullNs) / float64(max64(sessNs, 1))
+		fmt.Fprintf(w, "  %-18s %7d %6.0f%% %12v %12v %7.1fx %6d/%d\n",
+			split, frames,
+			100*float64(reused)/float64(frames),
+			time.Duration(fullNs/int64(frames)).Round(time.Microsecond),
+			time.Duration(sessNs/int64(frames)).Round(time.Microsecond),
+			speedup, agree, frames)
+	}
+}
+
 // RunE13 measures the descent-session serving mode against the paper's
 // per-frame architecture. The paper's pipeline treats every frame of a
 // descent as an independent selection; the 2022 continuous-descent
@@ -40,7 +174,6 @@ func RunE13(e *Env, w io.Writer) error {
 		return fmt.Errorf("E13: %w", err)
 	}
 	defer eng.Close()
-	_, testSpecs, oodSpecs := e.datasetSpecs()
 	const framesPerDescent = 5
 	ctx := context.Background()
 
@@ -48,58 +181,16 @@ func RunE13(e *Env, w io.Writer) error {
 	fmt.Fprintln(w, "splits, one vehicle per scene. 'full' recomputes every frame independently;")
 	fmt.Fprintln(w, "'session' carries the frame stem forward and re-verifies the confirmed zone.")
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "  %-18s %7s %7s %12s %12s %8s %10s\n",
-		"split", "frames", "reused", "full/frame", "sess/frame", "speedup", "agreement")
 
-	splits := []struct {
-		name  string
-		specs []scenario.Spec
-	}{{"in-distribution", testSpecs}, {"OOD (sunset)", oodSpecs}}
-	for _, split := range splits {
-		var frames, reused, agree int
-		var fullNs, sessNs int64
-		for si, sp := range split.specs {
-			scene := e.Corpus.Scene(sp)
-			descent := scenario.Descent{Frames: framesPerDescent, Seed: e.Cfg.Seed + int64(1000*si)}
-			sess, err := eng.NewSession(fmt.Sprintf("%s/%d", split.name, si))
-			if err != nil {
-				return fmt.Errorf("E13 %s descent %d: %w", split.name, si, err)
-			}
-			for k, f := range scenario.DescentFrames(scene.Image, descent) {
-				req := safeland.SelectRequest{Image: f, MPP: scene.MPP}
-				full := eng.Select(ctx, req)
-				if full.Err != nil {
-					sess.Close()
-					return fmt.Errorf("E13 %s descent %d frame %d (full): %w", split.name, si, k, full.Err)
-				}
-				resp := sess.Advance(ctx, req)
-				if resp.Err != nil {
-					sess.Close()
-					return fmt.Errorf("E13 %s descent %d frame %d (session): %w", split.name, si, k, resp.Err)
-				}
-				frames++
-				fullNs += int64(full.Elapsed)
-				sessNs += int64(resp.Elapsed)
-				if resp.Reused {
-					reused++
-				}
-				if sameZoneOutcome(resp.Result, full.Result, f.W, f.H) {
-					agree++
-				}
-			}
-			sess.Close()
-		}
-		speedup := float64(fullNs) / float64(max64(sessNs, 1))
-		fmt.Fprintf(w, "  %-18s %7d %6.0f%% %12v %12v %7.1fx %6d/%d\n",
-			split.name, frames,
-			100*float64(reused)/float64(frames),
-			time.Duration(fullNs/int64(frames)).Round(time.Microsecond),
-			time.Duration(sessNs/int64(frames)).Round(time.Microsecond),
-			speedup, agree, frames)
+	outcomes, err := runDescentFleet(e, eng, eng, framesPerDescent, "E13")
+	if err != nil {
+		return err
 	}
+	printDescentTable(w, outcomes)
 
 	// Parity spot check: with reuse disabled, the session path must be
 	// byte-identical to independent selects of the same frames.
+	_, testSpecs, _ := e.datasetSpecs()
 	scene := e.Corpus.Scene(testSpecs[0])
 	sess, err := eng.NewSession("parity", safeland.WithSessionReuse(false))
 	if err != nil {

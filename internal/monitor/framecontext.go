@@ -42,6 +42,17 @@ type FrameContext struct {
 	// the stride grid, unsupported model shapes).
 	CachedCrops   int
 	FallbackCrops int
+
+	// FaultHook, when non-nil, is consulted at the context's named
+	// perception fault points — currently "reprime", after Advance has
+	// re-primed the carried stem. A non-nil return means the carried state
+	// is corrupt: the context resets cold (exactly as if the stem had never
+	// been primed, so no corrupted bytes can reach a later verdict) and
+	// Advance returns the hook's error. Chaos injection (internal/faults)
+	// wires this to make stem-cache corruption a schedulable, deterministic
+	// fault; it is never called on the cold path, where there is no carried
+	// state to corrupt.
+	FaultHook func(stage string) error
 }
 
 // NewFrameContext opens a per-frame context on the monitor's model. The
@@ -98,6 +109,15 @@ func (fc *FrameContext) Advance(ctx context.Context, frame *imaging.Image, chang
 		// so the next ensureStem rebuilds both from the current image.
 		fc.reset(frame)
 		return err
+	}
+	if fc.FaultHook != nil {
+		if err := fc.FaultHook("reprime"); err != nil {
+			// Injected corruption: the just-re-primed stem is declared bad.
+			// Reset cold so the next use recomputes everything from the
+			// current frame — the corruption is detected, never served.
+			fc.reset(frame)
+			return err
+		}
 	}
 	return nil
 }

@@ -100,3 +100,12 @@ func removeWaiter(q *[]chan Selector, w chan Selector) bool {
 	}
 	return false
 }
+
+// idle returns how many replicas are currently free. A quiescent pool must
+// report its full worker count — the replica-leak check the chaos tests
+// assert after hammering the engine.
+func (p *replicaPool) idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

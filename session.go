@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"safeland/internal/core"
+	"safeland/internal/faults"
 	"safeland/internal/imaging"
 	"safeland/internal/monitor"
 )
@@ -145,17 +146,30 @@ type Session struct {
 	prevImg *imaging.Image
 	prev    core.Result
 	hasPrev bool
+
+	// frameSeq numbers the stream's frames as fault-injection coordinates;
+	// curFrame/curAttempt mirror the in-flight advance for the perception
+	// fault hook (read under s.mu, which compute holds).
+	frameSeq   int
+	curFrame   int
+	curAttempt int
 }
 
 // NewSession opens a descent stream for a vehicle. It is subject to
 // admission control: when the engine already has its maximum number of open
 // sessions (WithMaxSessions), NewSession fails immediately with
-// ErrSessionLimit — it never blocks — and the rejection is counted in
-// EngineStats.SessionRejects. Close the session when the descent ends.
+// ErrSessionLimit, and while the engine's circuit breaker is open it fails
+// immediately with ErrShardUnhealthy — it never blocks — and either
+// rejection is counted in EngineStats.SessionRejects. Close the session
+// when the descent ends.
 func (e *Engine) NewSession(vehicleID string, opts ...SessionOption) (*Session, error) {
 	cfg := sessionConfig{reuse: true, diffTile: DefaultDiffTile}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if !e.health.admit() {
+		e.sessionRejects.Add(1)
+		return nil, fmt.Errorf("%w: shard %q refusing vehicle %q", ErrShardUnhealthy, e.name, vehicleID)
 	}
 	if n := e.sessions.Add(1); n > int64(e.maxSessions) {
 		e.sessions.Add(-1)
@@ -222,6 +236,16 @@ type SessionResponse struct {
 	// Changed is the number of changed regions re-primed on this frame
 	// (0 on a cold or reuse-disabled frame).
 	Changed int
+	// Retried counts how many extra attempts this frame took after a
+	// transient fault (always 0 outside degraded mode).
+	Retried int
+	// Degraded is true when the frame's compute budget was exhausted and
+	// Result carries the fault-tolerant fallback zone: Result.State is
+	// core.Degraded and Result.Confirmed is false — a degraded frame never
+	// claims a verified zone. Err is nil on a degraded response.
+	Degraded bool
+	// DegradedCause names the budget-exhausting fault; "" unless Degraded.
+	DegradedCause string
 	// Queued is how long the advance waited for a worker slot.
 	Queued time.Duration
 	// Elapsed is the processing time, excluding queueing.
@@ -252,18 +276,86 @@ func (s *Session) Advance(ctx context.Context, req SelectRequest) SessionRespons
 		return resp
 	}
 	e := s.eng
-	safety := s.cfg.trigger != nil && s.cfg.trigger.Triggered()
-	resp.Safety = safety
+	frame := s.frameSeq
+	s.frameSeq++
+	s.curFrame = frame
 
-	// Like Engine.run, the request deadline bounds queueing only.
+	// Like Engine.run, the request deadline bounds queueing — and, in
+	// degraded mode, the frame's whole compute budget including retries.
 	waitCtx := ctx
 	if !req.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		waitCtx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
 	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			e.retried.Add(1)
+			resp.Retried++
+			if err := sleepCtx(waitCtx, e.retryDelay(s.vehicle, frame, attempt)); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		s.curAttempt = attempt
+		err := s.advanceOnce(ctx, waitCtx, img, mpp, req, frame, attempt, &resp)
+		if err == nil {
+			e.health.observe(true)
+			e.frames.Add(1)
+			if resp.Reused {
+				e.framesReused.Add(1)
+			}
+			s.prevImg = img
+			s.prev = resp.Result
+			s.hasPrev = true
+			return resp
+		}
+		lastErr = err
+		// Any error drops the temporal state, so a retry (and the next
+		// frame) starts from a clean full computation.
+		s.resetState()
+		if attempt >= e.retryBudget() || !e.retryableFault(err) || waitCtx.Err() != nil {
+			break
+		}
+	}
+	if shardFault(lastErr, ctx) {
+		e.health.observe(false)
+	}
+	if e.degrade && degradable(lastErr, ctx) {
+		e.degraded.Add(1)
+		e.frames.Add(1)
+		resp.Degraded = true
+		resp.DegradedCause = degradedCause(lastErr)
+		resp.Result = e.ftFallback(req, img, mpp)
+		resp.Reused, resp.Changed = false, 0
+		resp.Err = nil
+		return resp
+	}
+	resp.Err = lastErr
+	return resp
+}
+
+// advanceOnce runs one attempt at serving the frame: blackout check, slot
+// acquisition (with safety-class preemption), preemption registration,
+// transient injection (first attempts only), compute. Queued/Elapsed
+// accumulate across attempts on resp; Safety reflects the last attempt
+// (a trigger can fire between attempts and promote the retry).
+func (s *Session) advanceOnce(ctx, waitCtx context.Context, img *imaging.Image, mpp float64, req SelectRequest, frame, attempt int, resp *SessionResponse) error {
+	e := s.eng
+	safety := s.cfg.trigger != nil && s.cfg.trigger.Triggered()
+	resp.Safety = safety
+
+	// A blacked-out shard fails every attempt of the frame — retries
+	// included — so a blackout frame resolves by degrading, not retrying.
+	if err := e.blackedOut(frame); err != nil {
+		return err
+	}
+
 	enqueued := time.Now()
 	var slot Selector
+	var err error
 	if safety {
 		if got, ok := e.pool.tryAcquire(); ok {
 			slot = got
@@ -277,25 +369,29 @@ func (s *Session) Advance(ctx context.Context, req SelectRequest) SessionRespons
 	if slot == nil {
 		slot, err = e.pool.acquire(waitCtx, safety)
 		if err != nil {
-			resp.Queued = time.Since(enqueued)
-			resp.Err = err
-			return resp
+			resp.Queued += time.Since(enqueued)
+			return err
 		}
 	}
-	resp.Queued = time.Since(enqueued)
+	resp.Queued += time.Since(enqueued)
 	defer e.pool.release(slot)
 	if err := waitCtx.Err(); err != nil {
-		resp.Err = err
-		return resp
+		return err
 	}
 
+	// In degraded mode the budget bounds the compute too; otherwise the
+	// deadline keeps guarding queueing only.
+	base := ctx
+	if e.degrade {
+		base = waitCtx
+	}
 	// Routine advances are preemptible: register a cancel-with-cause so a
 	// safety-class advance can take the slot, and watch the session's own
 	// trigger so a mid-frame activation aborts this frame too.
-	cctx := ctx
+	cctx := base
 	if !safety {
 		var cancel context.CancelCauseFunc
-		cctx, cancel = context.WithCancelCause(ctx)
+		cctx, cancel = context.WithCancelCause(base)
 		defer cancel(nil)
 		id := e.registerPreemptible(cancel)
 		defer e.unregisterPreemptible(id)
@@ -313,25 +409,32 @@ func (s *Session) Advance(ctx context.Context, req SelectRequest) SessionRespons
 	}
 
 	start := time.Now()
-	res, reused, changed, err := s.compute(cctx, img, mpp, req)
-	resp.Elapsed = time.Since(start)
-	resp.Result, resp.Reused, resp.Changed = res, reused, changed
-	if err != nil {
-		if errors.Is(context.Cause(cctx), ErrPreempted) {
-			err = fmt.Errorf("%w (vehicle %q)", ErrPreempted, s.vehicle)
+	defer func() { resp.Elapsed += time.Since(start) }()
+	if attempt == 0 {
+		if err := e.injectTransient(cctx, s.vehicle, frame); err != nil {
+			return err
 		}
-		resp.Err = err
-		s.resetState()
-		return resp
 	}
-	e.frames.Add(1)
-	if reused {
-		e.framesReused.Add(1)
+	res, reused, changed, err := s.compute(cctx, img, mpp, req)
+	resp.Result, resp.Reused, resp.Changed = res, reused, changed
+	if err != nil && errors.Is(context.Cause(cctx), ErrPreempted) {
+		err = fmt.Errorf("%w (vehicle %q)", ErrPreempted, s.vehicle)
 	}
-	s.prevImg = img
-	s.prev = res
-	s.hasPrev = true
-	return resp
+	return err
+}
+
+// stemFaultHook is the "reprime" perception chaos point: it corrupts the
+// carried stem of the current frame's first attempt when the injector
+// schedules StemCorrupt for this vehicle/frame. The frame context detects
+// the corruption, resets cold, and surfaces the error — the bounded retry
+// then recomputes the frame from scratch. Called by
+// monitor.FrameContext.Advance inside compute, with s.mu held.
+func (s *Session) stemFaultHook(string) error {
+	e := s.eng
+	if s.curAttempt == 0 && e.inj.Fire(faults.StemCorrupt, s.vehicle, s.curFrame) {
+		return e.inj.Errorf(faults.StemCorrupt, s.vehicle, s.curFrame)
+	}
+	return nil
 }
 
 // compute runs one frame's selection. It returns the result, whether the
@@ -355,6 +458,7 @@ func (s *Session) compute(ctx context.Context, img *imaging.Image, mpp float64, 
 			s.fc.Close()
 		}
 		s.fc = s.pipe.Monitor.NewFrameContext(img)
+		s.fc.FaultHook = s.stemFaultHook
 		res, err := s.pipe.SelectInFrame(ctx, s.fc, mpp, zones)
 		return res, false, 0, err
 	}
@@ -389,6 +493,38 @@ func (s *Session) compute(ctx context.Context, img *imaging.Image, mpp float64, 
 	// on this frame, the stem reuse only saves the recompute.
 	res, err := s.pipe.SelectInFrame(ctx, s.fc, mpp, zones)
 	return res, false, len(changed), err
+}
+
+// Run turns the session into a streaming service over its descent: it
+// consumes requests from in until in closes or ctx is cancelled, Advances
+// over each in arrival order (streams are per-vehicle, so ordering is the
+// session's contract), and delivers every response on the returned channel,
+// which closes when the stream ends. Like Engine.Serve, a response whose
+// Advance completed is always delivered, even when ctx is cancelled
+// concurrently — callers must drain the channel until it closes (at most
+// one in-flight response remains after cancellation, so the drain is
+// short). Cancelling ctx stops consumption and fails the in-flight Advance
+// fast; closing in is the clean shutdown. Run does not close the session —
+// the caller still owns its lifetime.
+func (s *Session) Run(ctx context.Context, in <-chan SelectRequest) <-chan SessionResponse {
+	out := make(chan SessionResponse)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case req, ok := <-in:
+				if !ok {
+					return
+				}
+				// Unconditional send: a served frame is never dropped on
+				// cancellation; the loop head stops further consumption.
+				out <- s.Advance(ctx, req)
+			}
+		}
+	}()
+	return out
 }
 
 // registerPreemptible enters a routine advance's cancel into the engine's
